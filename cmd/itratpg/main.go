@@ -1,0 +1,141 @@
+// Command itratpg runs automatic test pattern generation and fault
+// simulation on a .bench netlist (or a built-in generated circuit) and
+// reports coverage, pattern count and the test set itself.
+//
+// Usage:
+//
+//	itratpg -bench c432.bench            # ATPG on a .bench file
+//	itratpg -gen mul8                    # ATPG on a built-in circuit
+//	itratpg -gen adder16 -patterns out.txt -naive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/atpg"
+	"repro/internal/bist"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "path to a .bench netlist")
+		gen       = flag.String("gen", "", "built-in circuit: c17, adderN, mulN, aluN, cmpN, parityN, randI.G.S")
+		patOut    = flag.String("patterns", "", "write generated patterns to this file")
+		naive     = flag.Bool("naive", false, "use the naive backtrace (ablation)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		noCompact = flag.Bool("nocompact", false, "skip static compaction")
+		doBIST    = flag.Bool("bist", false, "run a logic BIST session instead of ATPG")
+		lfsrLen   = flag.Int("lfsr", 32, "LFSR length for -bist")
+		misrLen   = flag.Int("misr", 24, "MISR length for -bist")
+		bistPats  = flag.Int("n", 512, "patterns for -bist")
+	)
+	flag.Parse()
+
+	n, err := loadCircuit(*benchPath, *gen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(n.Stats())
+
+	if *doBIST {
+		res, err := bist.Run(n, *lfsrLen, *misrLen, uint64(*seed), *bistPats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("BIST: %d LFSR patterns, coverage %.2f%% (%d/%d faults)\n",
+			res.Patterns, res.Coverage*100, res.Detected, res.TotalFaults)
+		fmt.Printf("good signature: %0*x (%d-bit MISR), aliased faults: %d\n",
+			(*misrLen+3)/4, res.GoodSignature, *misrLen, res.Aliased)
+		return
+	}
+
+	cfg := atpg.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Compact = !*noCompact
+	if *naive {
+		cfg.Guide = atpg.GuideNaive
+	}
+	res, err := atpg.Run(n, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("faults: %d collapsed\n", res.TotalFaults)
+	fmt.Printf("detected: %d (coverage %.2f%%), redundant: %d, aborted: %d (efficiency %.2f%%)\n",
+		res.Detected, res.Coverage*100, res.Redundant, res.Aborted, res.Efficiency*100)
+	fmt.Printf("patterns: %d (%d from random phase, %d deterministic detections)\n",
+		res.Patterns.N, res.RandomPhase, res.DetPhase)
+	fmt.Printf("backtracks: %d, runtime: %v\n", res.Backtracks, res.Runtime.Round(1e6))
+
+	if *patOut != "" {
+		f, err := os.Create(*patOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for k := 0; k < res.Patterns.N; k++ {
+			fmt.Fprintln(f, logic.FormatBits(res.Patterns.Pattern(k)))
+		}
+		fmt.Printf("wrote %d patterns to %s\n", res.Patterns.N, *patOut)
+	}
+}
+
+// loadCircuit resolves the -bench / -gen flags to a netlist.
+func loadCircuit(benchPath, gen string) (*circuit.Netlist, error) {
+	switch {
+	case benchPath != "":
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ParseBench(f, benchPath)
+	case gen != "":
+		return generate(gen)
+	default:
+		return nil, fmt.Errorf("need -bench <file> or -gen <name>")
+	}
+}
+
+func generate(name string) (*circuit.Netlist, error) {
+	var size int
+	switch {
+	case name == "c17":
+		return circuit.MustC17(), nil
+	case scan(name, "adder", &size):
+		return circuit.RippleAdder(size), nil
+	case scan(name, "mul", &size):
+		return circuit.ArrayMultiplier(size), nil
+	case scan(name, "alu", &size):
+		return circuit.ALUSlice(size), nil
+	case scan(name, "cmp", &size):
+		return circuit.Comparator(size), nil
+	case scan(name, "parity", &size):
+		return circuit.ParityTree(size), nil
+	case strings.HasPrefix(name, "rand"):
+		var in, gates int
+		var seed int64
+		if _, err := fmt.Sscanf(name, "rand%d.%d.%d", &in, &gates, &seed); err != nil {
+			return nil, fmt.Errorf("random circuit spec %q, want randI.G.S", name)
+		}
+		return circuit.Random(in, gates, seed), nil
+	}
+	return nil, fmt.Errorf("unknown circuit %q", name)
+}
+
+func scan(name, prefix string, size *int) bool {
+	if !strings.HasPrefix(name, prefix) {
+		return false
+	}
+	_, err := fmt.Sscanf(name[len(prefix):], "%d", size)
+	return err == nil && *size > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "itratpg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command itrbench regenerates the experiment tables and figures of the
+// reproduction (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	itrbench -all            # run every experiment at full scale
+//	itrbench -exp T1         # run one experiment (T1..T7, F1..F5)
+//	itrbench -exp T3 -quick  # reduced workload for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "run every experiment")
+		exp   = flag.String("exp", "", "experiment id (T1..T7, F1..F5)")
+		quick = flag.Bool("quick", false, "reduced workloads")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+
+	start := time.Now()
+	switch {
+	case *all:
+		if err := experiments.RunAll(cfg); err != nil {
+			fatal(err)
+		}
+	case *exp != "":
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			fmt.Printf("\n================ %s ================\n", id)
+			if err := experiments.Run(id, cfg); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] [-quick] [-seed N]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.Names(), " "))
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "itrbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command itrwafer demonstrates wafer-map defect classification: it
+// generates a labeled dataset, trains the HDC classifier and the classical
+// baselines, reports accuracy, and can render individual maps as ASCII art.
+//
+// Usage:
+//
+//	itrwafer                      # train + evaluate all classifiers
+//	itrwafer -show Scratch        # print an example map of one class
+//	itrwafer -dim 8192 -train 80  # bigger hypervectors / training set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/wafer"
+	"repro/internal/yieldmodel"
+)
+
+func main() {
+	var (
+		show   = flag.String("show", "", "render one example map of a class and exit")
+		dim    = flag.Int("dim", 4096, "hypervector dimension")
+		trainN = flag.Int("train", 40, "training maps per class")
+		testN  = flag.Int("test", 20, "test maps per class")
+		size   = flag.Int("size", 64, "wafer grid size")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := wafer.DefaultConfig()
+	cfg.Size = *size
+
+	if *show != "" {
+		class, ok := classByName(*show)
+		if !ok {
+			fatal(fmt.Errorf("unknown class %q", *show))
+		}
+		m := wafer.Generate(class, cfg, rand.New(rand.NewSource(*seed)))
+		render(m)
+		return
+	}
+
+	fmt.Printf("generating %d train / %d test maps per class (%d classes, %dx%d)\n",
+		*trainN, *testN, wafer.NumClasses, *size, *size)
+	train := wafer.GenerateDataset(*trainN, cfg, *seed)
+	test := wafer.GenerateDataset(*testN, cfg, *seed+1)
+
+	// Lot-level yield statistics over the generated wafers.
+	if stats, err := yieldmodel.Estimate(train.Maps); err == nil {
+		fmt.Printf("lot yield %.1f%%, mean fails/wafer %.0f", stats.Yield*100, stats.MeanFails)
+		if stats.Clustered {
+			fmt.Printf(", clustered defects (alpha %.2f)", stats.Alpha)
+		}
+		if d0, err := yieldmodel.FitD0(yieldmodel.Poisson, stats.Yield, 0); err == nil {
+			fmt.Printf(", Poisson-equivalent D0 %.3f/die", d0)
+		}
+		fmt.Println()
+	}
+
+	results, err := core.EvaluateWaferClassifiers(train, test, *dim, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-12s %9s %9s %12s %12s\n", "model", "accuracy", "macro-F1", "train", "infer/map")
+	for _, r := range results {
+		fmt.Printf("%-12s %8.1f%% %9.3f %12v %12v\n",
+			r.Name, r.Accuracy*100, r.MacroF1, r.TrainTime.Round(1e6), r.InferPer.Round(1e3))
+	}
+
+	// Confusion matrix of the HDC model.
+	fmt.Println("\nHDC confusion matrix (rows = truth):")
+	fmt.Printf("%-10s", "")
+	for c := wafer.Class(0); c < wafer.NumClasses; c++ {
+		fmt.Printf("%6.6s", c.String())
+	}
+	fmt.Println()
+	for a, row := range results[0].Confusion {
+		fmt.Printf("%-10s", wafer.Class(a).String())
+		for _, v := range row {
+			fmt.Printf("%6d", v)
+		}
+		fmt.Println()
+	}
+}
+
+func classByName(name string) (wafer.Class, bool) {
+	for c := wafer.Class(0); c < wafer.NumClasses; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func render(m *wafer.Map) {
+	fmt.Printf("class: %v, fail fraction %.1f%%\n", m.Label, m.FailFraction()*100)
+	for r := 0; r < m.Size; r++ {
+		for c := 0; c < m.Size; c++ {
+			switch m.At(r, c) {
+			case wafer.OffDie:
+				fmt.Print(" ")
+			case wafer.Pass:
+				fmt.Print(".")
+			default:
+				fmt.Print("X")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "itrwafer:", err)
+	os.Exit(1)
+}

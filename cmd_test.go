@@ -1,0 +1,88 @@
+// End-to-end smoke tests for the command-line tools, exercising them the
+// way a user would (via `go run`). Kept fast with -quick/coarse flags.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestItrbenchQuickT2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runTool(t, "./cmd/itrbench", "-exp", "T2", "-quick")
+	for _, needle := range []string{"ΔVth", "delay factor", "total runtime"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("itrbench output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestItratpgGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runTool(t, "./cmd/itratpg", "-gen", "c17")
+	for _, needle := range []string{"coverage 100.00%", "patterns:"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("itratpg output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestItratpgBenchFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	path := dir + "/c17.bench"
+	src := `INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+	if err := writeFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	patPath := dir + "/pats.txt"
+	out := runTool(t, "./cmd/itratpg", "-bench", path, "-patterns", patPath)
+	if !strings.Contains(out, "coverage 100.00%") {
+		t.Errorf("bench-file ATPG output:\n%s", out)
+	}
+}
+
+func TestItrwaferShow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runTool(t, "./cmd/itrwafer", "-show", "Center", "-size", "24")
+	if !strings.Contains(out, "class: Center") || !strings.Contains(out, "X") {
+		t.Errorf("itrwafer -show output:\n%s", out)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

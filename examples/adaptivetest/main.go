@@ -1,0 +1,71 @@
+// Adaptivetest is the production-test scenario: screen a lot of devices
+// with parametric outlier detection, calibrated to a yield-loss budget.
+// It compares univariate PAT against the multivariate ML screens and shows
+// the escape/overkill tradeoff that adaptive test tunes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/outlier"
+)
+
+func main() {
+	cfg := outlier.DefaultLotConfig()
+	cfg.Devices = 5000
+	lot := outlier.Synthesize(cfg, 1)
+
+	// The reference population: devices that passed all spec tests. Here
+	// we cheat with the ground truth to build a clean reference, like a
+	// golden-lot calibration would.
+	var ref [][]float64
+	nDefects := 0
+	for i, d := range lot.Defective {
+		if d {
+			nDefects++
+		} else {
+			ref = append(ref, lot.X[i])
+		}
+	}
+	fmt.Printf("lot: %d devices, %d tests each, %d latent defects (%.2f%%)\n",
+		cfg.Devices, cfg.Tests, nDefects, 100*float64(nDefects)/float64(cfg.Devices))
+
+	for _, s := range []struct {
+		name   string
+		scorer outlier.Scorer
+	}{
+		{"zscore-PAT", &outlier.ZScorePAT{}},
+		{"mahalanobis", &outlier.Mahalanobis{}},
+		{"kNN-10", &outlier.KNNOutlier{K: 10}},
+		{"PCA-residual", &outlier.PCAResidual{}},
+	} {
+		// Calibrate the operating point to a 1% overkill budget.
+		flow, err := core.NewAdaptiveFlow(s.scorer, ref, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := flow.Screen(lot)
+		caught := nDefects - res.Escapes
+		auc := outlier.AUC(outlier.ScoreAll(s.scorer, lot.X), lot.Defective)
+		fmt.Printf("\n%s (threshold %.2f, AUC %.3f):\n", s.name, flow.Threshold, auc)
+		fmt.Printf("  rejected %d of %d devices\n", res.Rejected, res.Devices)
+		fmt.Printf("  caught   %d of %d defects (%.0f%%), %d escapes\n",
+			caught, nDefects, 100*float64(caught)/float64(nDefects), res.Escapes)
+		fmt.Printf("  overkill %d healthy devices (%.2f%% yield loss)\n",
+			res.Overkill, 100*float64(res.Overkill)/float64(len(ref)))
+	}
+
+	// The full tradeoff curve for the best screen.
+	m := &outlier.Mahalanobis{}
+	if err := m.Fit(ref); err != nil {
+		log.Fatal(err)
+	}
+	scores := outlier.ScoreAll(m, lot.X)
+	fmt.Println("\nmahalanobis escape-vs-overkill curve:")
+	for _, p := range outlier.Sweep(scores, lot.Defective, 9) {
+		fmt.Printf("  threshold %6.2f: escapes %5.1f%%  overkill %5.1f%%\n",
+			p.Threshold, p.EscapeRate*100, p.OverkillRate*100)
+	}
+}

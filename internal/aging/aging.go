@@ -1,0 +1,138 @@
+// Package aging models transistor wear-out: NBTI (negative-bias temperature
+// instability) and HCI (hot-carrier injection) threshold-voltage shifts as
+// power-law functions of stress time, workload and temperature, and their
+// first-order mapping to cell-delay degradation. These are the reliability
+// models that the survey's ML methods learn to predict (experiments T2/T6).
+package aging
+
+import (
+	"fmt"
+	"math"
+)
+
+// SecondsPerYear converts mission lifetimes to stress seconds.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// Model holds the technology's aging coefficients. Defaults are tuned so a
+// 10-year, 50%-duty, 350 K mission produces a ΔVth of roughly 40–60 mV —
+// the range reported for scaled FinFET nodes.
+type Model struct {
+	// NBTI: dVth = ANbti * duty^NbtiDutyExp * exp(-EaNbti/kT) * (t/t0)^NbtiTimeExp
+	ANbti       float64 // volts
+	NbtiTimeExp float64 // ~0.16 (reaction-diffusion)
+	NbtiDutyExp float64 // ~0.25..0.5
+	EaNbti      float64 // activation energy, eV
+
+	// HCI: dVth = AHci * (activity * fClk * t / n0)^HciTimeExp
+	AHci       float64 // volts
+	HciTimeExp float64 // ~0.45..0.5
+	N0         float64 // normalization toggle count
+
+	// Delay sensitivity (alpha-power law).
+	VDD   float64
+	Vth0  float64
+	Alpha float64
+}
+
+// Default returns the baseline aging model for the 5-nm-class technology in
+// package spice (VDD 0.7 V, Vth 0.25 V, alpha 1.3).
+func Default() Model {
+	return Model{
+		ANbti:       1.8,
+		NbtiTimeExp: 0.16,
+		NbtiDutyExp: 0.3,
+		EaNbti:      0.12,
+		AHci:        1.1e-3,
+		HciTimeExp:  0.48,
+		N0:          1e15,
+		VDD:         0.70,
+		Vth0:        0.25,
+		Alpha:       1.3,
+	}
+}
+
+// Stress describes one signal's (or one design's aggregate) workload over a
+// mission.
+type Stress struct {
+	Years    float64
+	TempK    float64
+	Duty     float64 // fraction of time the PMOS is under negative bias (signal low)
+	Activity float64 // toggles per clock cycle (0..1)
+	ClockHz  float64
+}
+
+// Validate checks physical plausibility.
+func (s Stress) Validate() error {
+	if s.Years < 0 || s.Duty < 0 || s.Duty > 1 || s.Activity < 0 || s.Activity > 1 {
+		return fmt.Errorf("aging: implausible stress %+v", s)
+	}
+	if s.TempK <= 0 {
+		return fmt.Errorf("aging: temperature must be positive, got %g", s.TempK)
+	}
+	return nil
+}
+
+// NBTI returns the NBTI threshold shift in volts for the stress condition.
+func (m Model) NBTI(s Stress) float64 {
+	if s.Years == 0 || s.Duty == 0 {
+		return 0
+	}
+	const k = 8.617333e-5 // eV/K
+	t := s.Years * SecondsPerYear
+	return m.ANbti *
+		math.Pow(s.Duty, m.NbtiDutyExp) *
+		math.Exp(-m.EaNbti/(k*s.TempK)) *
+		math.Pow(t/SecondsPerYear, m.NbtiTimeExp) // stress time normalized to 1 year
+}
+
+// HCI returns the hot-carrier threshold shift in volts.
+func (m Model) HCI(s Stress) float64 {
+	if s.Years == 0 || s.Activity == 0 || s.ClockHz == 0 {
+		return 0
+	}
+	toggles := s.Activity * s.ClockHz * s.Years * SecondsPerYear
+	return m.AHci * math.Pow(toggles/m.N0, m.HciTimeExp)
+}
+
+// DeltaVth returns the combined threshold shift.
+func (m Model) DeltaVth(s Stress) float64 {
+	return m.NBTI(s) + m.HCI(s)
+}
+
+// DelayFactor maps a threshold shift to the multiplicative cell-delay
+// degradation under the alpha-power delay model:
+//
+//	delay ∝ VDD / (VDD - Vth)^alpha
+func (m Model) DelayFactor(dVth float64) float64 {
+	den := m.VDD - m.Vth0 - dVth
+	if den <= 0.01 {
+		den = 0.01 // device effectively dead; clamp to a huge factor
+	}
+	fresh := math.Pow(m.VDD-m.Vth0, m.Alpha)
+	return fresh / math.Pow(den, m.Alpha)
+}
+
+// Degradation returns the delay factor for a stress condition directly.
+func (m Model) Degradation(s Stress) float64 {
+	return m.DelayFactor(m.DeltaVth(s))
+}
+
+// WorstCase returns the stress corner used for traditional static
+// guardbanding: maximum duty and activity at the given lifetime,
+// temperature and clock.
+func WorstCase(years, tempK, clockHz float64) Stress {
+	return Stress{Years: years, TempK: tempK, Duty: 1, Activity: 1, ClockHz: clockHz}
+}
+
+// GuardbandSavings compares the worst-case guardband against the
+// workload-specific one: the fraction of the static margin recovered by
+// knowing the real workload (the headline metric of ML-driven aging
+// estimation, experiment T6).
+func (m Model) GuardbandSavings(actual Stress) float64 {
+	wc := m.Degradation(WorstCase(actual.Years, actual.TempK, actual.ClockHz))
+	act := m.Degradation(actual)
+	if wc <= 1 {
+		return 0
+	}
+	return (wc - act) / (wc - 1)
+}

@@ -1,0 +1,152 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroStress(t *testing.T) {
+	m := Default()
+	s := Stress{Years: 0, TempK: 300, Duty: 0.5, Activity: 0.1, ClockHz: 1e9}
+	if m.DeltaVth(s) != 0 {
+		t.Error("zero years must give zero shift")
+	}
+	if f := m.Degradation(s); f != 1 {
+		t.Errorf("fresh degradation factor = %f, want 1", f)
+	}
+}
+
+func TestTenYearShiftPlausible(t *testing.T) {
+	m := Default()
+	s := Stress{Years: 10, TempK: 350, Duty: 0.5, Activity: 0.2, ClockHz: 2e9}
+	dv := m.DeltaVth(s)
+	if dv < 0.02 || dv > 0.15 {
+		t.Errorf("10-year ΔVth = %.3f V, outside the plausible 20–150 mV band", dv)
+	}
+	f := m.Degradation(s)
+	if f < 1.02 || f > 1.6 {
+		t.Errorf("10-year delay factor = %.3f, implausible", f)
+	}
+}
+
+func TestNBTIMonotoneInTimeDutyTemp(t *testing.T) {
+	m := Default()
+	base := Stress{Years: 5, TempK: 350, Duty: 0.5}
+	v0 := m.NBTI(base)
+	for _, s := range []Stress{
+		{Years: 10, TempK: 350, Duty: 0.5},
+		{Years: 5, TempK: 400, Duty: 0.5},
+		{Years: 5, TempK: 350, Duty: 0.9},
+	} {
+		if m.NBTI(s) <= v0 {
+			t.Errorf("NBTI not monotone: %+v gives %g <= %g", s, m.NBTI(s), v0)
+		}
+	}
+	// Colder is better.
+	cold := Stress{Years: 5, TempK: 250, Duty: 0.5}
+	if m.NBTI(cold) >= v0 {
+		t.Error("NBTI must decrease at lower temperature")
+	}
+}
+
+func TestHCIMonotone(t *testing.T) {
+	m := Default()
+	base := Stress{Years: 5, Activity: 0.2, ClockHz: 1e9, TempK: 350}
+	v0 := m.HCI(base)
+	if v0 <= 0 {
+		t.Fatal("HCI must be positive under stress")
+	}
+	more := Stress{Years: 5, Activity: 0.8, ClockHz: 1e9, TempK: 350}
+	if m.HCI(more) <= v0 {
+		t.Error("HCI not monotone in activity")
+	}
+	faster := Stress{Years: 5, Activity: 0.2, ClockHz: 4e9, TempK: 350}
+	if m.HCI(faster) <= v0 {
+		t.Error("HCI not monotone in clock")
+	}
+}
+
+func TestPowerLawTimeExponent(t *testing.T) {
+	m := Default()
+	s1 := Stress{Years: 1, TempK: 350, Duty: 1}
+	s16 := Stress{Years: 16, TempK: 350, Duty: 1}
+	ratio := m.NBTI(s16) / m.NBTI(s1)
+	want := math.Pow(16, m.NbtiTimeExp)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("time power law ratio = %f, want %f", ratio, want)
+	}
+}
+
+func TestDelayFactorProperties(t *testing.T) {
+	m := Default()
+	if m.DelayFactor(0) != 1 {
+		t.Error("zero shift must give unity factor")
+	}
+	prev := 1.0
+	for dv := 0.01; dv < 0.2; dv += 0.01 {
+		f := m.DelayFactor(dv)
+		if f <= prev {
+			t.Fatalf("delay factor not strictly increasing at %f", dv)
+		}
+		prev = f
+	}
+	// Clamping near device death: still finite.
+	if f := m.DelayFactor(0.45); math.IsInf(f, 0) || f < 1 {
+		t.Errorf("extreme shift factor = %f", f)
+	}
+}
+
+func TestGuardbandSavings(t *testing.T) {
+	m := Default()
+	light := Stress{Years: 10, TempK: 350, Duty: 0.1, Activity: 0.05, ClockHz: 1e9}
+	heavy := Stress{Years: 10, TempK: 350, Duty: 0.9, Activity: 0.9, ClockHz: 1e9}
+	sl, sh := m.GuardbandSavings(light), m.GuardbandSavings(heavy)
+	if sl <= sh {
+		t.Errorf("light workload must recover more margin: %f vs %f", sl, sh)
+	}
+	if sl < 0 || sl > 1 {
+		t.Errorf("savings out of [0,1]: %f", sl)
+	}
+	wc := WorstCase(10, 350, 1e9)
+	if s := m.GuardbandSavings(wc); math.Abs(s) > 1e-9 {
+		t.Errorf("worst-case workload must save nothing, got %f", s)
+	}
+}
+
+func TestStressValidate(t *testing.T) {
+	good := Stress{Years: 1, TempK: 300, Duty: 0.5, Activity: 0.5, ClockHz: 1e9}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Stress{
+		{Years: -1, TempK: 300},
+		{Years: 1, TempK: 300, Duty: 1.5},
+		{Years: 1, TempK: 300, Activity: -0.1},
+		{Years: 1, TempK: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("stress %+v must fail validation", bad)
+		}
+	}
+}
+
+// Property: the combined shift is always the sum of its parts and
+// non-negative for valid stress.
+func TestDeltaVthProperty(t *testing.T) {
+	m := Default()
+	f := func(yearsRaw, dutyRaw, actRaw uint8) bool {
+		s := Stress{
+			Years:    float64(yearsRaw%20) + 0.1,
+			TempK:    300,
+			Duty:     float64(dutyRaw%101) / 100,
+			Activity: float64(actRaw%101) / 100,
+			ClockHz:  1e9,
+		}
+		dv := m.DeltaVth(s)
+		return dv >= 0 && math.Abs(dv-(m.NBTI(s)+m.HCI(s))) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package atpg_test
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/circuit"
+)
+
+func ExampleRun() {
+	res, err := atpg.Run(circuit.MustC17(), atpg.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coverage %.0f%% with %d patterns\n", res.Coverage*100, res.Patterns.N)
+	// Output: coverage 100% with 8 patterns
+}
+
+func ExampleDefectLevel() {
+	dl, err := atpg.DefectLevel(0.5, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("yield 50%%, coverage 95%% → %.0f DPPM\n", atpg.DPPM(dl))
+	// Output: yield 50%, coverage 95% → 34064 DPPM
+}

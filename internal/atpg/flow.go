@@ -1,0 +1,276 @@
+package atpg
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// Config controls the full test-generation flow.
+type Config struct {
+	Seed         int64
+	RandomBlocks int // max 64-pattern random blocks before deterministic phase (default 16)
+	RandomStall  int // stop random phase after this many blocks without new detections (default 2)
+	BacktrackLim int // PODEM backtrack limit (default 10000)
+	Guide        Guide
+	Compact      bool // reverse-order static compaction (default on via DefaultConfig)
+	FillRandom   bool // fill don't-cares randomly (true) or with zeros
+	SkipRandom   bool // deterministic-only flow (for ablation)
+}
+
+// DefaultConfig returns the standard flow configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		RandomBlocks: 16,
+		RandomStall:  2,
+		BacktrackLim: 10000,
+		Guide:        GuideSCOAP,
+		Compact:      true,
+		FillRandom:   true,
+	}
+}
+
+// Result reports the outcome of a full ATPG run.
+type Result struct {
+	Circuit     string
+	TotalFaults int
+	Detected    int
+	Redundant   int
+	Aborted     int
+	Patterns    *logic.PatternSet
+	RandomPhase int     // faults detected by random patterns
+	DetPhase    int     // faults detected by PODEM patterns
+	Coverage    float64 // detected / total
+	Efficiency  float64 // (detected + proven redundant) / total
+	Backtracks  int64
+	Runtime     time.Duration
+	CoverageAt  []CoveragePoint // coverage after each pattern (for figure F2)
+}
+
+// CoveragePoint is one sample of the coverage-vs-patterns curve.
+type CoveragePoint struct {
+	Patterns int
+	Coverage float64
+}
+
+// Run executes the full ATPG flow on the netlist: a random-pattern phase
+// with fault dropping, a deterministic PODEM phase for the remaining
+// faults, and optional reverse-order static compaction.
+func Run(n *circuit.Netlist, cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.RandomBlocks == 0 {
+		cfg.RandomBlocks = 16
+	}
+	if cfg.RandomStall == 0 {
+		cfg.RandomStall = 2
+	}
+	if cfg.BacktrackLim == 0 {
+		cfg.BacktrackLim = 10000
+	}
+	fsim, err := fault.NewSimulator(n)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	eng.Guide = cfg.Guide
+	eng.BacktrackLim = cfg.BacktrackLim
+
+	faults := fault.Universe(n)
+	res := &Result{Circuit: n.Name, TotalFaults: len(faults)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	patterns := logic.NewPatternSet(len(n.PIs), 0)
+	detected := make([]bool, len(faults))
+	remaining := len(faults)
+
+	// Phase 1: random patterns, dropped against the live fault list.
+	if !cfg.SkipRandom {
+		stall := 0
+		for b := 0; b < cfg.RandomBlocks && remaining > 0 && stall < cfg.RandomStall; b++ {
+			block := logic.NewPatternSet(len(n.PIs), logic.WordBits)
+			block.RandFill(rng.Uint64)
+			live, liveIdx := liveFaults(faults, detected)
+			r := fsim.Run(block, live)
+			newDet := 0
+			for i, d := range r.DetectedBy {
+				if d >= 0 {
+					detected[liveIdx[i]] = true
+					newDet++
+				}
+			}
+			if newDet == 0 {
+				stall++
+				continue // drop useless block entirely
+			}
+			stall = 0
+			remaining -= newDet
+			res.RandomPhase += newDet
+			for k := 0; k < block.N; k++ {
+				patterns.Append(block.Pattern(k))
+			}
+		}
+	}
+
+	// Phase 2: deterministic PODEM for each remaining fault, dropping other
+	// faults against each new pattern.
+	for fi := range faults {
+		if detected[fi] {
+			continue
+		}
+		cube, status := eng.Generate(faults[fi])
+		switch status {
+		case Redundant:
+			res.Redundant++
+			detected[fi] = true // excluded from coverage denominator handling below
+			continue
+		case Aborted:
+			res.Aborted++
+			continue
+		}
+		bits := fillCube(cube, rng, cfg.FillRandom)
+		one := logic.NewPatternSet(len(n.PIs), 0)
+		one.Append(bits)
+		live, liveIdx := liveFaults(faults, detected)
+		r := fsim.Run(one, live)
+		newDet := 0
+		for i, d := range r.DetectedBy {
+			if d >= 0 {
+				detected[liveIdx[i]] = true
+				newDet++
+			}
+		}
+		if newDet > 0 {
+			patterns.Append(bits)
+			res.DetPhase += newDet
+		}
+	}
+
+	// Phase 3: reverse-order static compaction — re-simulate the pattern set
+	// backwards with fault dropping; keep only patterns that detect a fault
+	// not detected by a later pattern.
+	if cfg.Compact && patterns.N > 1 {
+		patterns = compact(fsim, faults, patterns)
+	}
+
+	// Final accounting: one clean fault simulation of the final set.
+	final := fsim.Run(patterns, faults)
+	res.Patterns = patterns
+	res.Detected = final.Detected
+	if res.TotalFaults > 0 {
+		res.Coverage = float64(res.Detected) / float64(res.TotalFaults)
+		res.Efficiency = float64(res.Detected+res.Redundant) / float64(res.TotalFaults)
+	}
+	res.Backtracks = eng.Backtracks
+	res.CoverageAt = coverageCurve(final, patterns.N, res.TotalFaults)
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+func liveFaults(faults []fault.Fault, detected []bool) ([]fault.Fault, []int) {
+	var live []fault.Fault
+	var idx []int
+	for i, f := range faults {
+		if !detected[i] {
+			live = append(live, f)
+			idx = append(idx, i)
+		}
+	}
+	return live, idx
+}
+
+func fillCube(cube []logic.V, rng *rand.Rand, random bool) []bool {
+	bits := make([]bool, len(cube))
+	for i, v := range cube {
+		switch v {
+		case logic.V1:
+			bits[i] = true
+		case logic.V0:
+			bits[i] = false
+		default:
+			if random {
+				bits[i] = rng.Intn(2) == 1
+			}
+		}
+	}
+	return bits
+}
+
+// compact keeps patterns in reverse order that contribute new detections.
+func compact(fsim *fault.Simulator, faults []fault.Fault, p *logic.PatternSet) *logic.PatternSet {
+	detected := make([]bool, len(faults))
+	var keep []int
+	for k := p.N - 1; k >= 0; k-- {
+		one := logic.NewPatternSet(p.Inputs, 0)
+		one.Append(p.Pattern(k))
+		live, liveIdx := liveFaults(faults, detected)
+		if len(live) == 0 {
+			break
+		}
+		r := fsim.Run(one, live)
+		newDet := 0
+		for i, d := range r.DetectedBy {
+			if d >= 0 {
+				detected[liveIdx[i]] = true
+				newDet++
+			}
+		}
+		if newDet > 0 {
+			keep = append(keep, k)
+		}
+	}
+	out := logic.NewPatternSet(p.Inputs, 0)
+	for i := len(keep) - 1; i >= 0; i-- {
+		out.Append(p.Pattern(keep[i]))
+	}
+	return out
+}
+
+// coverageCurve recomputes the cumulative coverage after each pattern from
+// the first-detection indices of the final run.
+func coverageCurve(r *fault.Result, nPatterns, total int) []CoveragePoint {
+	if total == 0 || nPatterns == 0 {
+		return nil
+	}
+	detAt := make([]int, nPatterns)
+	for _, d := range r.DetectedBy {
+		if d >= 0 && d < nPatterns {
+			detAt[d]++
+		}
+	}
+	curve := make([]CoveragePoint, nPatterns)
+	cum := 0
+	for k := 0; k < nPatterns; k++ {
+		cum += detAt[k]
+		curve[k] = CoveragePoint{Patterns: k + 1, Coverage: float64(cum) / float64(total)}
+	}
+	return curve
+}
+
+// RandomOnly generates nPatterns random patterns and returns the coverage
+// curve — the baseline against which the ATPG curve is compared (figure F2).
+func RandomOnly(n *circuit.Netlist, nPatterns int, seed int64) (*Result, error) {
+	fsim, err := fault.NewSimulator(n)
+	if err != nil {
+		return nil, err
+	}
+	faults := fault.Universe(n)
+	rng := rand.New(rand.NewSource(seed))
+	p := logic.NewPatternSet(len(n.PIs), nPatterns)
+	p.RandFill(rng.Uint64)
+	r := fsim.Run(p, faults)
+	res := &Result{
+		Circuit:     n.Name,
+		TotalFaults: len(faults),
+		Detected:    r.Detected,
+		Patterns:    p,
+		Coverage:    r.Coverage,
+		CoverageAt:  coverageCurve(r, p.N, len(faults)),
+	}
+	return res, nil
+}

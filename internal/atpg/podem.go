@@ -1,0 +1,474 @@
+// Package atpg implements automatic test pattern generation for single
+// stuck-at faults: the PODEM algorithm (Goel 1981) over five-valued
+// D-algebra with SCOAP-guided backtrace, plus a complete test-generation
+// flow (random-pattern phase, deterministic top-up, reverse-order static
+// compaction).
+package atpg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// Status classifies the outcome of deterministic test generation for one
+// fault.
+type Status int
+
+// Test generation outcomes.
+const (
+	Detected  Status = iota // a test was found
+	Redundant               // search space exhausted: the fault is untestable
+	Aborted                 // backtrack limit hit before a conclusion
+)
+
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Redundant:
+		return "redundant"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Guide selects the backtrace heuristic.
+type Guide int
+
+// Backtrace heuristics (ablation knob for experiment T4).
+const (
+	GuideSCOAP Guide = iota // controllability/observability guided (default)
+	GuideNaive              // first-X-input, used as the ablation baseline
+)
+
+// Engine generates tests for stuck-at faults on one netlist using PODEM.
+type Engine struct {
+	Net           *circuit.Netlist
+	Scoap         *circuit.SCOAP
+	Guide         Guide
+	BacktrackLim  int // decisions un-done before aborting a fault (default 10000)
+	vals          []logic.V
+	order         []int
+	piPos         map[int]int
+	Backtracks    int64 // cumulative statistics
+	Implications  int64
+	faultGate     int
+	faultPin      int
+	faultSA       uint8
+	decisionStack []decision
+	isPO          []bool
+	visit         []int64 // epoch stamps for xPathExists
+	epoch         int64
+	dfBuf         []int
+	stackBuf      []int
+	tpos          []int   // gate ID -> topological position
+	piCones       [][]int // per PI index: topo-sorted fanout cone (lazy)
+}
+
+type decision struct {
+	pi      int // PI index
+	val     logic.V
+	flipped bool
+}
+
+// New builds a PODEM engine. The netlist must validate.
+func New(n *circuit.Netlist) (*Engine, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("atpg: %w", err)
+	}
+	e := &Engine{
+		Net:          n,
+		Scoap:        circuit.ComputeSCOAP(n),
+		BacktrackLim: 10000,
+		vals:         make([]logic.V, len(n.Gates)),
+		order:        n.TopoOrder(),
+		piPos:        n.InputIndex(),
+		isPO:         make([]bool, len(n.Gates)),
+		visit:        make([]int64, len(n.Gates)),
+	}
+	for _, po := range n.POs {
+		e.isPO[po] = true
+	}
+	e.tpos = make([]int, len(n.Gates))
+	for i, id := range e.order {
+		e.tpos[id] = i
+	}
+	e.piCones = make([][]int, len(n.PIs))
+	return e, nil
+}
+
+// imply performs full five-valued forward implication with the target fault
+// injected, from the current PI assignments (piVals, indexed by PI order;
+// X means unassigned).
+func (e *Engine) imply(piVals []logic.V) {
+	e.Implications++
+	for _, id := range e.order {
+		e.evalGate(id, piVals)
+	}
+}
+
+// implyPI incrementally re-implies after a single PI assignment change:
+// only the PI's structural fanout cone can change, and the fault site's
+// downstream effects are contained in that cone whenever the site is.
+func (e *Engine) implyPI(piIdx int, piVals []logic.V) {
+	e.Implications++
+	for _, id := range e.piCone(piIdx) {
+		e.evalGate(id, piVals)
+	}
+}
+
+// piCone returns the topologically sorted fanout cone of PI index piIdx
+// (including the PI gate itself), computed lazily and cached.
+func (e *Engine) piCone(piIdx int) []int {
+	if c := e.piCones[piIdx]; c != nil {
+		return c
+	}
+	root := e.Net.PIs[piIdx]
+	e.epoch++
+	stack := append(e.stackBuf[:0], root)
+	var cone []int
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.visit[g] == e.epoch {
+			continue
+		}
+		e.visit[g] = e.epoch
+		cone = append(cone, g)
+		stack = append(stack, e.Net.Gates[g].Fanout...)
+	}
+	e.stackBuf = stack[:0]
+	sort.Slice(cone, func(a, b int) bool { return e.tpos[cone[a]] < e.tpos[cone[b]] })
+	e.piCones[piIdx] = cone
+	return cone
+}
+
+// evalGate recomputes one gate's five-valued output from its fanins with
+// fault injection applied.
+func (e *Engine) evalGate(id int, piVals []logic.V) {
+	g := e.Net.Gates[id]
+	var v logic.V
+	switch g.Type {
+	case circuit.Input, circuit.DFF:
+		v = piVals[e.piPos[id]]
+	case circuit.Buf:
+		v = e.in(g, 0)
+	case circuit.Not:
+		v = e.in(g, 0).Not()
+	case circuit.And, circuit.Nand:
+		v = e.in(g, 0)
+		for p := 1; p < len(g.Fanin); p++ {
+			v = logic.And(v, e.in(g, p))
+		}
+		if g.Type == circuit.Nand {
+			v = v.Not()
+		}
+	case circuit.Or, circuit.Nor:
+		v = e.in(g, 0)
+		for p := 1; p < len(g.Fanin); p++ {
+			v = logic.Or(v, e.in(g, p))
+		}
+		if g.Type == circuit.Nor {
+			v = v.Not()
+		}
+	case circuit.Xor, circuit.Xnor:
+		v = e.in(g, 0)
+		for p := 1; p < len(g.Fanin); p++ {
+			v = logic.Xor(v, e.in(g, p))
+		}
+		if g.Type == circuit.Xnor {
+			v = v.Not()
+		}
+	}
+	if id == e.faultGate && e.faultPin < 0 {
+		v = e.injectStem(v)
+	}
+	e.vals[id] = v
+}
+
+// in returns the five-valued value on input pin p of gate g, applying the
+// branch fault when (g, p) is the fault site.
+func (e *Engine) in(g *circuit.Gate, p int) logic.V {
+	v := e.vals[g.Fanin[p]]
+	if g.ID == e.faultGate && p == e.faultPin {
+		return e.injectStem(v)
+	}
+	return v
+}
+
+// injectStem converts the good value at the fault site into the D-algebra
+// value seen downstream.
+func (e *Engine) injectStem(good logic.V) logic.V {
+	switch good.Good() {
+	case logic.VX:
+		return logic.VX
+	case logic.V0:
+		if e.faultSA == 1 {
+			return logic.VDbar // good 0, faulty 1
+		}
+		return logic.V0
+	default: // good 1
+		if e.faultSA == 0 {
+			return logic.VD
+		}
+		return logic.V1
+	}
+}
+
+// detected reports whether any PO currently carries a fault effect.
+func (e *Engine) detected() bool {
+	for _, po := range e.Net.POs {
+		if e.vals[po].IsD() {
+			return true
+		}
+	}
+	return false
+}
+
+// siteValue returns the good value at the fault site line.
+func (e *Engine) siteValue() logic.V {
+	if e.faultPin < 0 {
+		return e.vals[e.faultGate].Good()
+	}
+	return e.vals[e.Net.Gates[e.faultGate].Fanin[e.faultPin]].Good()
+}
+
+// dFrontier collects gates whose output is X but that have a D/D' input:
+// candidates for fault-effect propagation. The returned slice is reused
+// across calls.
+func (e *Engine) dFrontier() []int {
+	df := e.dfBuf[:0]
+	for _, id := range e.order {
+		g := e.Net.Gates[id]
+		if g.Type == circuit.Input || e.vals[id] != logic.VX {
+			continue
+		}
+		for p := range g.Fanin {
+			if e.in(g, p).IsD() {
+				df = append(df, id)
+				break
+			}
+		}
+	}
+	e.dfBuf = df
+	return df
+}
+
+// xPathExists reports whether a path of X-valued gates connects gate id to
+// any primary output — a necessary condition for propagation (X-path
+// check). Iterative DFS with epoch-stamped visit marks, allocation free.
+func (e *Engine) xPathExists(id int) bool {
+	e.epoch++
+	stack := e.stackBuf[:0]
+	stack = append(stack, id)
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.visit[g] == e.epoch {
+			continue
+		}
+		e.visit[g] = e.epoch
+		if e.vals[g] != logic.VX && !e.vals[g].IsD() {
+			continue
+		}
+		if e.isPO[g] {
+			e.stackBuf = stack[:0]
+			return true
+		}
+		stack = append(stack, e.Net.Gates[g].Fanout...)
+	}
+	e.stackBuf = stack[:0]
+	return false
+}
+
+// objective returns the next (gate, value) goal: activate the fault if not
+// yet activated, otherwise advance the D-frontier. ok=false means the
+// current partial assignment cannot detect the fault.
+func (e *Engine) objective() (gate int, val logic.V, ok bool) {
+	sv := e.siteValue()
+	want := logic.V1
+	if e.faultSA == 1 {
+		want = logic.V0
+	}
+	if sv == logic.VX {
+		// Activate: drive the site line to the opposite of the stuck value.
+		target := e.faultGate
+		if e.faultPin >= 0 {
+			target = e.Net.Gates[e.faultGate].Fanin[e.faultPin]
+		}
+		return target, want, true
+	}
+	if sv != want {
+		return 0, 0, false // fault cannot be activated under this assignment
+	}
+	// Propagate: pick the D-frontier gate closest to an output (min CO) and
+	// set one of its X side-inputs to the non-controlling value.
+	df := e.dFrontier()
+	best := -1
+	for _, id := range df {
+		if !e.xPathExists(id) {
+			continue
+		}
+		if best < 0 || e.Scoap.CO[id] < e.Scoap.CO[best] {
+			best = id
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	g := e.Net.Gates[best]
+	nc := nonControlling(g.Type)
+	for p := range g.Fanin {
+		if e.in(g, p) == logic.VX {
+			return g.Fanin[p], nc, true
+		}
+	}
+	return 0, 0, false
+}
+
+// nonControlling returns the side-input value that lets a fault effect pass
+// through the gate type.
+func nonControlling(t circuit.GateType) logic.V {
+	switch t {
+	case circuit.And, circuit.Nand:
+		return logic.V1
+	case circuit.Or, circuit.Nor:
+		return logic.V0
+	default: // XOR/XNOR/NOT/BUF: any value sensitizes
+		return logic.V0
+	}
+}
+
+// backtrace maps an objective (gate, value) to an unassigned primary input
+// and a value likely to achieve it, walking backward through X-valued gates.
+func (e *Engine) backtrace(gate int, val logic.V) (piIdx int, v logic.V, ok bool) {
+	id, want := gate, val
+	for steps := 0; steps < len(e.Net.Gates)+1; steps++ {
+		g := e.Net.Gates[id]
+		if g.Type == circuit.Input || g.Type == circuit.DFF {
+			return e.piPos[id], want, true
+		}
+		if g.Type.Inverting() {
+			want = want.Not()
+		}
+		// Choose which X input to pursue.
+		pin := -1
+		switch g.Type {
+		case circuit.Buf, circuit.Not:
+			pin = 0
+		case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+			allNeeded := false
+			if g.Type == circuit.And || g.Type == circuit.Nand {
+				allNeeded = want == logic.V1 // need all 1s
+			} else {
+				allNeeded = want == logic.V0 // need all 0s
+			}
+			pin = e.pickInput(g, want, allNeeded)
+		case circuit.Xor, circuit.Xnor:
+			pin = e.pickInput(g, want, false)
+			// Desired value on the chosen input: fold known side inputs.
+			acc := want
+			for p := range g.Fanin {
+				if p == pin {
+					continue
+				}
+				sv := e.in(g, p).Good()
+				if sv == logic.V1 {
+					acc = acc.Not()
+				}
+			}
+			want = acc
+		}
+		if pin < 0 {
+			return 0, 0, false
+		}
+		id = g.Fanin[pin]
+		if e.vals[id] != logic.VX {
+			return 0, 0, false // line already justified; objective stuck
+		}
+	}
+	return 0, 0, false
+}
+
+// pickInput chooses an X-valued fanin pin. With SCOAP guidance, the
+// "all inputs needed" case picks the hardest line (set the bottleneck
+// first), the "any input suffices" case picks the easiest.
+func (e *Engine) pickInput(g *circuit.Gate, want logic.V, allNeeded bool) int {
+	best, bestCost := -1, 0
+	for p, f := range g.Fanin {
+		v := e.in(g, p)
+		if v != logic.VX {
+			continue
+		}
+		if e.Guide == GuideNaive {
+			return p
+		}
+		cost := e.Scoap.CC1[f]
+		if want == logic.V0 {
+			cost = e.Scoap.CC0[f]
+		}
+		if best < 0 || (allNeeded && cost > bestCost) || (!allNeeded && cost < bestCost) {
+			best, bestCost = p, cost
+		}
+	}
+	return best
+}
+
+// Generate runs PODEM for one fault. On Detected it returns the test cube
+// as five-valued PI assignments (VX = don't care).
+func (e *Engine) Generate(f fault.Fault) ([]logic.V, Status) {
+	e.faultGate, e.faultPin, e.faultSA = f.Gate, f.Pin, f.SA
+	piVals := make([]logic.V, len(e.Net.PIs))
+	for i := range piVals {
+		piVals[i] = logic.VX
+	}
+	e.decisionStack = e.decisionStack[:0]
+	backtracks := 0
+	e.imply(piVals) // establish the all-X baseline once
+	for {
+		if e.detected() {
+			out := make([]logic.V, len(piVals))
+			copy(out, piVals)
+			return out, Detected
+		}
+		gate, val, ok := e.objective()
+		var pi int
+		var v logic.V
+		if ok {
+			pi, v, ok = e.backtrace(gate, val)
+		}
+		if ok {
+			piVals[pi] = v
+			e.implyPI(pi, piVals)
+			e.decisionStack = append(e.decisionStack, decision{pi: pi, val: v})
+			continue
+		}
+		// Dead end: backtrack.
+		for {
+			if len(e.decisionStack) == 0 {
+				return nil, Redundant
+			}
+			top := &e.decisionStack[len(e.decisionStack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = top.val.Not()
+				piVals[top.pi] = top.val
+				e.implyPI(top.pi, piVals)
+				backtracks++
+				e.Backtracks++
+				if backtracks > e.BacktrackLim {
+					return nil, Aborted
+				}
+				break
+			}
+			piVals[top.pi] = logic.VX
+			e.implyPI(top.pi, piVals)
+			e.decisionStack = e.decisionStack[:len(e.decisionStack)-1]
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package atpg
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefectLevel returns the Williams–Brown defect level: the expected
+// fraction of shipped parts that are defective, given process yield and
+// fault coverage:
+//
+//	DL = 1 - Y^(1-FC)
+//
+// It is the classical bridge from a coverage number to outgoing quality
+// (e.g. 95% coverage at 50% yield ships ~3.4% defective parts) and is used
+// to express ATPG results in DPPM terms.
+func DefectLevel(yield, coverage float64) (float64, error) {
+	if yield <= 0 || yield > 1 {
+		return 0, fmt.Errorf("atpg: yield %g outside (0,1]", yield)
+	}
+	if coverage < 0 || coverage > 1 {
+		return 0, fmt.Errorf("atpg: coverage %g outside [0,1]", coverage)
+	}
+	return 1 - math.Pow(yield, 1-coverage), nil
+}
+
+// DPPM converts a defect level to defective parts per million.
+func DPPM(defectLevel float64) float64 { return defectLevel * 1e6 }
+
+// RequiredCoverage inverts the Williams–Brown model: the fault coverage
+// needed to reach a target defect level at a given yield.
+func RequiredCoverage(yield, targetDL float64) (float64, error) {
+	if yield <= 0 || yield >= 1 {
+		return 0, fmt.Errorf("atpg: yield %g outside (0,1)", yield)
+	}
+	if targetDL <= 0 || targetDL >= 1 {
+		return 0, fmt.Errorf("atpg: target defect level %g outside (0,1)", targetDL)
+	}
+	// 1 - Y^(1-FC) = DL  =>  FC = 1 - ln(1-DL)/ln(Y)
+	fc := 1 - math.Log(1-targetDL)/math.Log(yield)
+	if fc < 0 {
+		fc = 0 // yield alone already meets the target
+	}
+	return fc, nil
+}
+
+// QualityReport summarizes an ATPG result in shipped-quality terms.
+func (r *Result) QualityReport(yield float64) (string, error) {
+	dl, err := DefectLevel(yield, r.Coverage)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s: coverage %.2f%% at yield %.0f%% → defect level %.4f%% (%.0f DPPM)",
+		r.Circuit, r.Coverage*100, yield*100, dl*100, DPPM(dl)), nil
+}

@@ -1,0 +1,86 @@
+package atpg
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestDefectLevelKnownPoints(t *testing.T) {
+	// Full coverage ships zero defects regardless of yield.
+	if dl, err := DefectLevel(0.5, 1.0); err != nil || dl != 0 {
+		t.Errorf("DL(0.5, 1) = %g, %v", dl, err)
+	}
+	// Zero coverage ships 1-Y defective parts.
+	if dl, _ := DefectLevel(0.5, 0); math.Abs(dl-0.5) > 1e-12 {
+		t.Errorf("DL(0.5, 0) = %g", dl)
+	}
+	// Textbook example: Y=0.5, FC=0.95 → DL ≈ 3.4%.
+	dl, _ := DefectLevel(0.5, 0.95)
+	if math.Abs(dl-0.0341) > 0.001 {
+		t.Errorf("DL(0.5, 0.95) = %g, want ~0.034", dl)
+	}
+}
+
+func TestDefectLevelMonotone(t *testing.T) {
+	prev := 1.0
+	for fc := 0.0; fc <= 1.0001; fc += 0.05 {
+		dl, err := DefectLevel(0.6, math.Min(fc, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dl > prev+1e-12 {
+			t.Fatalf("defect level not decreasing in coverage at %f", fc)
+		}
+		prev = dl
+	}
+}
+
+func TestDefectLevelValidation(t *testing.T) {
+	if _, err := DefectLevel(0, 0.5); err == nil {
+		t.Error("zero yield must fail")
+	}
+	if _, err := DefectLevel(0.5, 1.5); err == nil {
+		t.Error("coverage > 1 must fail")
+	}
+}
+
+func TestRequiredCoverageRoundTrip(t *testing.T) {
+	for _, y := range []float64{0.3, 0.5, 0.8} {
+		for _, dl := range []float64{0.001, 0.01, 0.05} {
+			fc, err := RequiredCoverage(y, dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fc > 0 {
+				back, _ := DefectLevel(y, fc)
+				if math.Abs(back-dl) > 1e-9 {
+					t.Errorf("round trip Y=%g DL=%g: got %g", y, dl, back)
+				}
+			}
+		}
+	}
+	if _, err := RequiredCoverage(1.0, 0.01); err == nil {
+		t.Error("yield 1.0 must fail (log singularity)")
+	}
+}
+
+func TestQualityReport(t *testing.T) {
+	res, err := Run(circuit.MustC17(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.QualityReport(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "DPPM") || !strings.Contains(s, "c17") {
+		t.Errorf("report = %q", s)
+	}
+	// c17 at full coverage: 0 DPPM.
+	if !strings.Contains(s, "0 DPPM") {
+		t.Errorf("full-coverage report should show 0 DPPM: %q", s)
+	}
+}

@@ -1,0 +1,239 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS .bench format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(y)
+//	n1 = NAND(a, b)
+//	y  = NOT(n1)
+//
+// Gate keywords are case-insensitive. Forward references are resolved after
+// the whole file is read, so gates may be declared in any order.
+func ParseBench(r io.Reader, name string) (*Netlist, error) {
+	type decl struct {
+		name  string
+		typ   GateType
+		fanin []string
+		line  int
+	}
+	type scan struct {
+		dff, dSource string
+		line         int
+	}
+	var (
+		decls   []decl
+		outputs []string
+		inputs  []string
+		scans   []scan
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.IndexByte(rhs, '(')
+			close := strings.LastIndexByte(rhs, ')')
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("bench line %d: malformed gate expression %q", lineNo, rhs)
+			}
+			kw := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			typ, ok := ParseGateType(kw)
+			if !ok || typ == Input {
+				return nil, fmt.Errorf("bench line %d: unknown gate type %q", lineNo, kw)
+			}
+			var fanin []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("bench line %d: empty fanin in %q", lineNo, rhs)
+				}
+				fanin = append(fanin, f)
+			}
+			if typ == DFF {
+				// Full scan: the DFF becomes a pseudo-PI immediately and
+				// its D connection is resolved after all gates exist (it
+				// may close a sequential loop).
+				if len(fanin) != 1 {
+					return nil, fmt.Errorf("bench line %d: DFF takes one input, got %d", lineNo, len(fanin))
+				}
+				scans = append(scans, scan{dff: lhs, dSource: fanin[0], line: lineNo})
+				continue
+			}
+			decls = append(decls, decl{lhs, typ, fanin, lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+
+	n := New(name)
+	for _, in := range inputs {
+		if _, err := n.AddGate(in, Input); err != nil {
+			return nil, err
+		}
+	}
+	for _, sc := range scans {
+		if _, err := n.AddGate(sc.dff, DFF); err != nil {
+			return nil, fmt.Errorf("bench line %d: %w", sc.line, err)
+		}
+	}
+	// Resolve forward references by repeatedly adding gates whose fanins
+	// exist. A full pass with no progress means an undefined signal or cycle.
+	pending := decls
+	for len(pending) > 0 {
+		var next []decl
+		progress := false
+		for _, d := range pending {
+			ready := true
+			for _, f := range d.fanin {
+				if _, ok := n.byName[f]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, d)
+				continue
+			}
+			if _, err := n.AddGate(d.name, d.typ, d.fanin...); err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", d.line, err)
+			}
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("bench: unresolved signals (first: gate %q at line %d)",
+				next[0].name, next[0].line)
+		}
+		pending = next
+	}
+	for _, sc := range scans {
+		if err := n.ConnectScanD(sc.dff, sc.dSource); err != nil {
+			return nil, fmt.Errorf("bench line %d: %w", sc.line, err)
+		}
+	}
+	for _, out := range outputs {
+		if err := n.MarkOutput(out); err != nil {
+			return nil, err
+		}
+	}
+	return n, n.Validate()
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// ParseBenchString parses a .bench netlist from a string.
+func ParseBenchString(src, name string) (*Netlist, error) {
+	return ParseBench(strings.NewReader(src), name)
+}
+
+// WriteBench serializes the netlist in .bench format. Gates are emitted in
+// topological order so the output parses without forward references.
+func (n *Netlist) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", n.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(n.PIs), len(n.POs), n.NumLogicGates())
+	for _, id := range n.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[id].Name)
+	}
+	outs := make([]string, 0, len(n.POs))
+	for _, id := range n.POs {
+		outs = append(outs, n.Gates[id].Name)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", o)
+	}
+	for _, id := range n.TopoOrder() {
+		g := n.Gates[id]
+		switch g.Type {
+		case Input:
+			continue
+		case DFF:
+			if d, ok := n.ScanD[id]; ok {
+				fmt.Fprintf(bw, "%s = DFF(%s)\n", g.Name, n.Gates[d].Name)
+			}
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = n.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// C17 is the classic ISCAS-85 c17 benchmark, embedded for tests and demos.
+const C17 = `# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// MustC17 returns a freshly parsed c17 netlist.
+func MustC17() *Netlist {
+	n, err := ParseBenchString(C17, "c17")
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,321 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAddGateBasics(t *testing.T) {
+	n := New("t")
+	if _, err := n.AddGate("a", Input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("b", Input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("y", Nand, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := n.GateByName("y")
+	if !ok || g.Type != Nand || len(g.Fanin) != 2 {
+		t.Fatalf("gate y malformed: %+v", g)
+	}
+	a, _ := n.GateByName("a")
+	if len(a.Fanout) != 1 || a.Fanout[0] != g.ID {
+		t.Fatalf("fanout of a not maintained: %+v", a)
+	}
+}
+
+func TestAddGateErrors(t *testing.T) {
+	n := New("t")
+	n.MustAddGate("a", Input)
+	if _, err := n.AddGate("a", Input); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if _, err := n.AddGate("y", And, "a", "missing"); err == nil {
+		t.Error("unknown fanin must fail")
+	}
+	if _, err := n.AddGate("n", Not, "a", "a"); err == nil {
+		t.Error("NOT with 2 fanins must fail")
+	}
+	if _, err := n.AddGate("z", And); err == nil {
+		t.Error("AND with no fanin must fail")
+	}
+	if err := n.MarkOutput("nope"); err == nil {
+		t.Error("unknown output must fail")
+	}
+}
+
+func TestValidateRequiresIO(t *testing.T) {
+	n := New("empty")
+	if err := n.Validate(); err == nil {
+		t.Error("netlist without PIs must fail validation")
+	}
+	n.MustAddGate("a", Input)
+	if err := n.Validate(); err == nil {
+		t.Error("netlist without POs must fail validation")
+	}
+}
+
+func TestLevelize(t *testing.T) {
+	n := MustC17()
+	if err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	g22, _ := n.GateByName("G22")
+	g10, _ := n.GateByName("G10")
+	g1, _ := n.GateByName("G1")
+	if g1.Level != 0 {
+		t.Errorf("PI level = %d", g1.Level)
+	}
+	if g10.Level != 1 {
+		t.Errorf("G10 level = %d, want 1", g10.Level)
+	}
+	if g22.Level != 3 {
+		t.Errorf("G22 level = %d, want 3", g22.Level)
+	}
+	if n.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", n.Depth())
+	}
+	// Topological order property: every gate appears after all its fanins.
+	pos := make(map[int]int)
+	for i, id := range n.TopoOrder() {
+		pos[id] = i
+	}
+	for _, g := range n.Gates {
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[g.ID] {
+				t.Errorf("gate %s before its fanin", g.Name)
+			}
+		}
+	}
+}
+
+func TestParseBenchC17(t *testing.T) {
+	n, err := ParseBenchString(C17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.PIs) != 5 || len(n.POs) != 2 || n.NumLogicGates() != 6 {
+		t.Fatalf("c17 shape wrong: %v", n.Stats())
+	}
+}
+
+func TestParseBenchForwardRefs(t *testing.T) {
+	src := `
+OUTPUT(y)
+y = NOT(mid)
+mid = AND(a, b)
+INPUT(a)
+INPUT(b)
+`
+	n, err := ParseBenchString(src, "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLogicGates() != 2 {
+		t.Fatalf("gates = %d", n.NumLogicGates())
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []string{
+		"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",    // unknown gate type
+		"INPUT(a)\nOUTPUT(y)\ny NOT(a)\n",       // missing '='
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(q)\n",     // undefined signal
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a,)\n",    // empty fanin
+		"INPUT()\nOUTPUT(y)\ny = NOT(a)\n",      // empty input name
+		"INPUT(a)\nOUTPUT(y)\ny = NOT a\n",      // malformed expression
+		"INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n",     // unknown output
+		"INPUT(a)\na2 = INPUT(a)\ny = NOT(a)\n", // INPUT as gate keyword
+	}
+	for i, src := range cases {
+		if _, err := ParseBenchString(src, "bad"); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	for _, c := range []*Netlist{MustC17(), RippleAdder(4), ALUSlice(4)} {
+		var buf bytes.Buffer
+		if err := c.WriteBench(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseBench(strings.NewReader(buf.String()), c.Name)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", c.Name, err, buf.String())
+		}
+		if back.NumLogicGates() != c.NumLogicGates() ||
+			len(back.PIs) != len(c.PIs) || len(back.POs) != len(c.POs) {
+			t.Errorf("%s: round trip changed shape: %v vs %v", c.Name, back.Stats(), c.Stats())
+		}
+	}
+}
+
+func TestGeneratorsValidate(t *testing.T) {
+	for _, c := range BenchmarkSuite() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if c.NumLogicGates() == 0 {
+			t.Errorf("%s: no gates", c.Name)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(10, 50, 42)
+	b := Random(10, 50, 42)
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteBench(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBench(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Error("Random with same seed differs")
+	}
+	c := Random(10, 50, 43)
+	var bufC bytes.Buffer
+	if err := c.WriteBench(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() == bufC.String() {
+		t.Error("Random with different seed identical")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := MustC17().Stats()
+	if s.PIs != 5 || s.POs != 2 || s.Gates != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByType[Nand] != 6 {
+		t.Errorf("NAND count = %d", s.ByType[Nand])
+	}
+	if !strings.Contains(s.String(), "c17") {
+		t.Errorf("stats string = %q", s.String())
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if And.String() != "AND" || Xnor.String() != "XNOR" {
+		t.Error("gate type names wrong")
+	}
+	if tt, ok := ParseGateType("NOR"); !ok || tt != Nor {
+		t.Error("ParseGateType(NOR) failed")
+	}
+	if _, ok := ParseGateType("BOGUS"); ok {
+		t.Error("ParseGateType must reject unknown")
+	}
+}
+
+func TestSCOAPC17(t *testing.T) {
+	n := MustC17()
+	s := ComputeSCOAP(n)
+	for _, pi := range n.PIs {
+		if s.CC0[pi] != 1 || s.CC1[pi] != 1 {
+			t.Errorf("PI %s controllability = (%d,%d)", n.Gates[pi].Name, s.CC0[pi], s.CC1[pi])
+		}
+	}
+	for _, po := range n.POs {
+		if s.CO[po] != 0 {
+			t.Errorf("PO %s observability = %d", n.Gates[po].Name, s.CO[po])
+		}
+	}
+	// NAND(a,b) with PI inputs: CC0 = CC1a+CC1b+1 = 3, CC1 = min(CC0)+1 = 2.
+	g10, _ := n.GateByName("G10")
+	if s.CC0[g10.ID] != 3 || s.CC1[g10.ID] != 2 {
+		t.Errorf("G10 controllability = (%d,%d), want (3,2)", s.CC0[g10.ID], s.CC1[g10.ID])
+	}
+}
+
+func TestSCOAPMonotone(t *testing.T) {
+	// Deeper signals must never be easier to control than 1 (the PI cost).
+	for _, c := range []*Netlist{RippleAdder(8), ALUSlice(4), Random(12, 200, 7)} {
+		s := ComputeSCOAP(c)
+		for _, g := range c.Gates {
+			if s.CC0[g.ID] < 1 || s.CC1[g.ID] < 1 {
+				t.Errorf("%s/%s: controllability below 1", c.Name, g.Name)
+			}
+			if s.CO[g.ID] < 0 {
+				t.Errorf("%s/%s: negative observability", c.Name, g.Name)
+			}
+		}
+	}
+}
+
+func TestSCOAPXor(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+`
+	n, err := ParseBenchString(src, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSCOAP(n)
+	y, _ := n.GateByName("y")
+	// XOR of two PIs: CC0 = min(1+1, 1+1)+1 = 3, CC1 = 3.
+	if s.CC0[y.ID] != 3 || s.CC1[y.ID] != 3 {
+		t.Errorf("XOR controllability = (%d,%d), want (3,3)", s.CC0[y.ID], s.CC1[y.ID])
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	n := New("cyc")
+	n.MustAddGate("a", Input)
+	// Build a cycle manually (cannot be expressed via AddGate since fanin
+	// must exist, so wire it up directly).
+	g1 := &Gate{ID: 1, Name: "g1", Type: And}
+	g2 := &Gate{ID: 2, Name: "g2", Type: And}
+	g1.Fanin = []int{0, 2}
+	g2.Fanin = []int{1}
+	g1.Fanout = []int{2}
+	g2.Fanout = []int{1}
+	n.Gates = append(n.Gates, g1, g2)
+	n.byName["g1"], n.byName["g2"] = 1, 2
+	n.POs = []int{2}
+	if err := n.Levelize(); err == nil {
+		t.Error("cycle must be detected")
+	}
+}
+
+func TestDecoder(t *testing.T) {
+	d := Decoder(3)
+	if len(d.POs) != 8 {
+		t.Fatalf("decoder outputs = %d", len(d.POs))
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"adder":   func() { RippleAdder(0) },
+		"mul":     func() { ArrayMultiplier(1) },
+		"parity":  func() { ParityTree(1) },
+		"cmp":     func() { Comparator(0) },
+		"alu":     func() { ALUSlice(0) },
+		"random":  func() { Random(1, 10, 0) },
+		"decoder": func() { Decoder(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on invalid size", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

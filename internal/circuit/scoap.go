@@ -1,0 +1,147 @@
+package circuit
+
+// SCOAP implements the Sandia Controllability/Observability Analysis
+// Program testability measures (Goldstein 1979). CC0/CC1 estimate the
+// minimum number of line assignments required to set a signal to 0/1; CO
+// estimates the effort to observe a signal at a primary output. The ATPG
+// backtrace uses these measures to pick the cheapest input to justify an
+// objective, and they also serve as topological features for the ML models.
+type SCOAP struct {
+	CC0 []int // controllability to 0, per gate ID
+	CC1 []int // controllability to 1, per gate ID
+	CO  []int // observability, per gate ID
+}
+
+const scoapInf = 1 << 28
+
+// ComputeSCOAP calculates the combinational SCOAP measures for the netlist.
+func ComputeSCOAP(n *Netlist) *SCOAP {
+	s := &SCOAP{
+		CC0: make([]int, len(n.Gates)),
+		CC1: make([]int, len(n.Gates)),
+		CO:  make([]int, len(n.Gates)),
+	}
+	order := n.TopoOrder()
+	// Controllability: forward pass in topological order.
+	for _, id := range order {
+		g := n.Gates[id]
+		switch g.Type {
+		case Input, DFF:
+			s.CC0[id], s.CC1[id] = 1, 1
+		case Buf:
+			f := g.Fanin[0]
+			s.CC0[id], s.CC1[id] = s.CC0[f]+1, s.CC1[f]+1
+		case Not:
+			f := g.Fanin[0]
+			s.CC0[id], s.CC1[id] = s.CC1[f]+1, s.CC0[f]+1
+		case And, Nand:
+			sum1, min0 := 1, scoapInf
+			for _, f := range g.Fanin {
+				sum1 += s.CC1[f]
+				if s.CC0[f] < min0 {
+					min0 = s.CC0[f]
+				}
+			}
+			c1, c0 := sum1, min0+1
+			if g.Type == Nand {
+				c0, c1 = c1, c0
+			}
+			s.CC0[id], s.CC1[id] = c0, c1
+		case Or, Nor:
+			sum0, min1 := 1, scoapInf
+			for _, f := range g.Fanin {
+				sum0 += s.CC0[f]
+				if s.CC1[f] < min1 {
+					min1 = s.CC1[f]
+				}
+			}
+			c0, c1 := sum0, min1+1
+			if g.Type == Nor {
+				c0, c1 = c1, c0
+			}
+			s.CC0[id], s.CC1[id] = c0, c1
+		case Xor, Xnor:
+			// For 2-input XOR: CC1 = min(CC1a+CC0b, CC0a+CC1b)+1,
+			// CC0 = min(CC0a+CC0b, CC1a+CC1b)+1. Generalize pairwise.
+			c0, c1 := s.CC0[g.Fanin[0]], s.CC1[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				n0 := min(c0+s.CC0[f], c1+s.CC1[f])
+				n1 := min(c1+s.CC0[f], c0+s.CC1[f])
+				c0, c1 = n0, n1
+			}
+			c0++
+			c1++
+			if g.Type == Xnor {
+				c0, c1 = c1, c0
+			}
+			s.CC0[id], s.CC1[id] = c0, c1
+		}
+	}
+	// Observability: backward pass in reverse topological order.
+	for i := range s.CO {
+		s.CO[i] = scoapInf
+	}
+	for _, id := range n.POs {
+		s.CO[id] = 0
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := n.Gates[id]
+		if s.CO[id] == scoapInf {
+			continue
+		}
+		for pin, f := range g.Fanin {
+			var co int
+			switch g.Type {
+			case Buf, Not:
+				co = s.CO[id] + 1
+			case And, Nand:
+				// Sensitize: all side inputs at 1.
+				co = s.CO[id] + 1
+				for p2, f2 := range g.Fanin {
+					if p2 != pin {
+						co += s.CC1[f2]
+					}
+				}
+			case Or, Nor:
+				co = s.CO[id] + 1
+				for p2, f2 := range g.Fanin {
+					if p2 != pin {
+						co += s.CC0[f2]
+					}
+				}
+			case Xor, Xnor:
+				// Side inputs need any known value; use cheaper of CC0/CC1.
+				co = s.CO[id] + 1
+				for p2, f2 := range g.Fanin {
+					if p2 != pin {
+						co += min(s.CC0[f2], s.CC1[f2])
+					}
+				}
+			default:
+				co = s.CO[id] + 1
+			}
+			if co < s.CO[f] {
+				s.CO[f] = co
+			}
+		}
+	}
+	return s
+}
+
+// Testability returns a per-gate combined difficulty score
+// (CC0+CC1+CO), clamped, used as an ML feature and for reporting.
+func (s *SCOAP) Testability(id int) int {
+	t := s.CC0[id] + s.CC1[id] + s.CO[id]
+	if t > scoapInf {
+		t = scoapInf
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/outlier"
+)
+
+// AdaptiveFlow is a calibrated outlier screen: a fitted scorer plus an
+// operating threshold chosen for an overkill (yield-loss) budget.
+type AdaptiveFlow struct {
+	Scorer    outlier.Scorer
+	Threshold float64
+}
+
+// CalibrateThreshold picks the smallest threshold whose overkill on the
+// reference (healthy) population stays within budget: the
+// budget-quantile of the reference score distribution.
+func CalibrateThreshold(refScores []float64, overkillBudget float64) (float64, error) {
+	if len(refScores) == 0 {
+		return 0, fmt.Errorf("core: empty reference scores")
+	}
+	if overkillBudget < 0 || overkillBudget >= 1 {
+		return 0, fmt.Errorf("core: overkill budget %g outside [0,1)", overkillBudget)
+	}
+	sorted := append([]float64(nil), refScores...)
+	sort.Float64s(sorted)
+	idx := int(float64(len(sorted)) * (1 - overkillBudget))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], nil
+}
+
+// NewAdaptiveFlow fits the scorer on the reference lot and calibrates its
+// threshold to the overkill budget.
+func NewAdaptiveFlow(s outlier.Scorer, ref [][]float64, overkillBudget float64) (*AdaptiveFlow, error) {
+	if err := s.Fit(ref); err != nil {
+		return nil, err
+	}
+	th, err := CalibrateThreshold(outlier.ScoreAll(s, ref), overkillBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveFlow{Scorer: s, Threshold: th}, nil
+}
+
+// Reject reports whether a device should be screened out.
+func (f *AdaptiveFlow) Reject(x []float64) bool {
+	return f.Scorer.Score(x) > f.Threshold
+}
+
+// ScreenResult summarizes screening a lot at the calibrated operating
+// point.
+type ScreenResult struct {
+	Devices  int
+	Rejected int
+	Escapes  int // defective devices passed
+	Overkill int // healthy devices rejected
+}
+
+// Screen applies the flow to a labeled lot and tallies the outcome.
+func (f *AdaptiveFlow) Screen(lot *outlier.Lot) ScreenResult {
+	res := ScreenResult{Devices: len(lot.X)}
+	for i, x := range lot.X {
+		rej := f.Reject(x)
+		if rej {
+			res.Rejected++
+			if !lot.Defective[i] {
+				res.Overkill++
+			}
+		} else if lot.Defective[i] {
+			res.Escapes++
+		}
+	}
+	return res
+}

@@ -1,0 +1,12 @@
+// Package core is the public face of the toolkit: it composes the machine-
+// learning substrate (internal/ml, internal/hdc) with the test and
+// reliability substrates (spice, liberty, aging, sta, fault, atpg,
+// diagnosis, outlier, wafer) into the four "intelligent methods" the
+// DATE 2022 survey covers:
+//
+//   - Surrogate — ML-accelerated standard-cell characterization (T1)
+//   - WaferClassifiers — brain-inspired wafer-map classification (T3/F1/F5)
+//   - AgingAwareSTA — workload-aware aging guardbands (T2/T6)
+//   - MLScorer — learned fault-diagnosis candidate ranking (T5)
+//   - AdaptiveFlow — ML outlier screening operating points (F3)
+package core

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/liberty"
+	"repro/internal/ml"
+	"repro/internal/spice"
+)
+
+// ArcSample is one ground-truth characterization point: the electrical
+// query (slew, load, ΔVth) plus the structural descriptor of the cell arc,
+// and the transient-simulated delay.
+type ArcSample struct {
+	Cell     string
+	Pin      int
+	InRise   bool
+	Features []float64
+	Delay    float64 // seconds (SPICE ground truth)
+}
+
+// ArcData is the full characterization corpus with cost accounting.
+type ArcData struct {
+	Samples   []ArcSample
+	SpiceTime time.Duration // wall time spent producing the ground truth
+	Runs      int
+}
+
+// NumArcFeatures is the feature dimensionality of ArcSample.Features:
+// slew, load, ΔVth, inRise flag, plus the structural descriptor.
+const NumArcFeatures = 4 + spice.NumStructuralFeatures
+
+// BuildArcData measures every (cell, pin, edge, slew, load, ΔVth) point
+// with the transistor-level simulator. This is the expensive ground truth a
+// surrogate replaces; the recorded wall time is the baseline of the T1
+// speedup figure.
+func BuildArcData(cells []*spice.Cell, base spice.Params, dVths []float64, grid liberty.Grid) (*ArcData, error) {
+	data := &ArcData{}
+	start := time.Now()
+	for _, c := range cells {
+		for pin := 0; pin < c.NumInputs; pin++ {
+			side, ok := spice.SensitizingSideInputs(c, pin)
+			if !ok {
+				return nil, fmt.Errorf("core: cell %s pin %d not sensitizable", c.Name, pin)
+			}
+			sf := c.StructuralFeatures(pin)
+			for _, inRise := range []bool{true, false} {
+				for _, dv := range dVths {
+					p := base
+					p.DVthN += dv
+					p.DVthP += dv
+					for _, slew := range grid.Slews {
+						for _, load := range grid.Loads {
+							m, err := spice.Simulate(c, p, spice.Arc{
+								Pin: pin, RiseIn: inRise, InSlew: slew,
+								LoadCap: load, SideInputs: side,
+							})
+							if err != nil {
+								return nil, fmt.Errorf("core: %s: %w", c.Name, err)
+							}
+							data.Runs++
+							feat := make([]float64, 0, NumArcFeatures)
+							rise := 0.0
+							if inRise {
+								rise = 1
+							}
+							// Scale to comfortable numeric ranges: ps, fF, mV.
+							feat = append(feat, slew*1e12, load*1e15, dv*1e3, rise)
+							feat = append(feat, sf...)
+							data.Samples = append(data.Samples, ArcSample{
+								Cell: c.Name, Pin: pin, InRise: inRise,
+								Features: feat, Delay: m.Delay,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	data.SpiceTime = time.Since(start)
+	return data, nil
+}
+
+// Surrogate is a trained delay predictor standing in for SPICE
+// characterization.
+type Surrogate struct {
+	Name  string
+	Model ml.Regressor
+}
+
+// Predict returns the delay estimate in seconds for an arc feature vector.
+func (s *Surrogate) Predict(features []float64) float64 {
+	// Model is trained on picosecond targets for conditioning.
+	return s.Model.Predict(features) * 1e-12
+}
+
+// SurrogateReport evaluates one model on held-out characterization points.
+type SurrogateReport struct {
+	Name       string
+	MAPE       float64 // fraction
+	RMSE       float64 // seconds
+	R2         float64
+	TrainTime  time.Duration
+	PredictPer time.Duration // per-point inference latency
+	SpicePer   time.Duration // per-point transient latency (ground truth)
+	Speedup    float64       // SpicePer / PredictPer
+	TrainPts   int
+	TestPts    int
+}
+
+// ModelZoo returns the standard surrogate model constructors of experiment
+// T1 in a deterministic order.
+func ModelZoo(seed int64) []struct {
+	Name string
+	New  func() ml.Regressor
+} {
+	mlpCfg := ml.DefaultMLPConfig()
+	mlpCfg.Epochs = 150
+	mlpCfg.Seed = seed
+	return []struct {
+		Name string
+		New  func() ml.Regressor
+	}{
+		{"linear", func() ml.Regressor { return ml.NewRidge(1e-6) }},
+		{"ridge-poly2", func() ml.Regressor { return &polyRidge{inner: ml.NewRidge(1e-3)} }},
+		{"knn5", func() ml.Regressor { return &scaledKNN{inner: &ml.KNNRegressor{K: 5, Weighted: true}} }},
+		{"forest", func() ml.Regressor { return ml.NewForestRegressor(40, 12, seed) }},
+		{"gbt", func() ml.Regressor { return ml.NewGBTRegressor(150, 4, 0.1, seed) }},
+		{"mlp", func() ml.Regressor { return ml.NewMLPRegressor(mlpCfg) }},
+	}
+}
+
+// scaledKNN standardizes features before the distance computation —
+// essential here because slew (ps), load (fF) and the structural
+// descriptors live on very different scales.
+type scaledKNN struct {
+	inner  *ml.KNNRegressor
+	scaler *ml.Scaler
+}
+
+func (s *scaledKNN) Fit(X [][]float64, y []float64) error {
+	s.scaler = ml.FitScaler(X)
+	return s.inner.Fit(s.scaler.TransformAll(X), y)
+}
+
+func (s *scaledKNN) Predict(x []float64) float64 {
+	return s.inner.Predict(s.scaler.Transform(x))
+}
+
+// polyRidge wraps ridge regression with a degree-2 polynomial basis.
+type polyRidge struct {
+	inner *ml.Ridge
+}
+
+func (p *polyRidge) Fit(X [][]float64, y []float64) error {
+	return p.inner.Fit(ml.PolyExpand(X), y)
+}
+
+func (p *polyRidge) Predict(x []float64) float64 {
+	return p.inner.Predict(ml.PolyFeatures(x))
+}
+
+// TrainSurrogate fits one model on a train fraction of the corpus and
+// evaluates it on the rest. Targets are scaled to picoseconds.
+func TrainSurrogate(name string, model ml.Regressor, data *ArcData, trainFrac float64, seed int64) (*Surrogate, *SurrogateReport, error) {
+	n := len(data.Samples)
+	if n < 10 {
+		return nil, nil, fmt.Errorf("core: need >= 10 samples, have %d", n)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	nTrain := int(float64(n) * trainFrac)
+	if nTrain < 1 || nTrain >= n {
+		return nil, nil, fmt.Errorf("core: train fraction %g leaves no train/test split", trainFrac)
+	}
+	X := make([][]float64, 0, nTrain)
+	y := make([]float64, 0, nTrain)
+	for _, i := range perm[:nTrain] {
+		X = append(X, data.Samples[i].Features)
+		y = append(y, data.Samples[i].Delay*1e12)
+	}
+	t0 := time.Now()
+	if err := model.Fit(X, y); err != nil {
+		return nil, nil, fmt.Errorf("core: surrogate %s: %w", name, err)
+	}
+	trainTime := time.Since(t0)
+
+	testIdx := perm[nTrain:]
+	yTrue := make([]float64, len(testIdx))
+	yPred := make([]float64, len(testIdx))
+	t1 := time.Now()
+	for k, i := range testIdx {
+		yPred[k] = model.Predict(data.Samples[i].Features)
+	}
+	predTime := time.Since(t1)
+	for k, i := range testIdx {
+		yTrue[k] = data.Samples[i].Delay * 1e12
+	}
+	rep := &SurrogateReport{
+		Name:       name,
+		MAPE:       ml.MAPE(yTrue, yPred),
+		RMSE:       ml.RMSE(yTrue, yPred) * 1e-12,
+		R2:         ml.R2(yTrue, yPred),
+		TrainTime:  trainTime,
+		PredictPer: predTime / time.Duration(len(testIdx)),
+		SpicePer:   data.SpiceTime / time.Duration(data.Runs),
+		TrainPts:   nTrain,
+		TestPts:    len(testIdx),
+	}
+	if rep.PredictPer > 0 {
+		rep.Speedup = float64(rep.SpicePer) / float64(rep.PredictPer)
+	}
+	return &Surrogate{Name: name, Model: model}, rep, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hdc"
+	"repro/internal/ml"
+	"repro/internal/wafer"
+)
+
+// WaferResult reports one classifier's quality and cost on the wafer-map
+// task (experiment T3).
+type WaferResult struct {
+	Name      string
+	Accuracy  float64
+	MacroF1   float64
+	TrainTime time.Duration
+	InferPer  time.Duration // per-map inference latency including encoding
+	Confusion [][]int
+}
+
+// HDCWaferClassifier couples the spatial hypervector encoder with the
+// associative-memory classifier.
+type HDCWaferClassifier struct {
+	Dim    int
+	Epochs int
+	enc    *wafer.Encoder
+	cls    *hdc.Classifier
+	// ErrHistory records retraining errors per epoch (experiment F5).
+	ErrHistory []int
+}
+
+// NewHDCWaferClassifier returns an untrained HDC classifier.
+func NewHDCWaferClassifier(dim, size, epochs int, seed int64) *HDCWaferClassifier {
+	return &HDCWaferClassifier{
+		Dim:    dim,
+		Epochs: epochs,
+		enc:    wafer.NewEncoder(dim, size, seed),
+		cls:    hdc.NewClassifier(dim, int(wafer.NumClasses)),
+	}
+}
+
+// Fit trains the prototypes with bundling plus perceptron retraining.
+func (h *HDCWaferClassifier) Fit(d *wafer.Dataset) error {
+	enc := h.enc.EncodeAll(d)
+	if err := h.cls.Train(enc, d.Labels); err != nil {
+		return err
+	}
+	h.ErrHistory = h.cls.Retrain(enc, d.Labels, h.Epochs)
+	return nil
+}
+
+// Predict classifies one wafer map.
+func (h *HDCWaferClassifier) Predict(m *wafer.Map) int {
+	return h.cls.Predict(h.enc.Encode(m))
+}
+
+// EvaluateWaferClassifiers runs the full T3 model comparison: HDC against
+// the classical baselines on identical train/test splits.
+func EvaluateWaferClassifiers(train, test *wafer.Dataset, dim int, seed int64) ([]WaferResult, error) {
+	var out []WaferResult
+
+	// HDC.
+	h := NewHDCWaferClassifier(dim, train.Maps[0].Size, 20, seed)
+	t0 := time.Now()
+	if err := h.Fit(train); err != nil {
+		return nil, err
+	}
+	trainTime := time.Since(t0)
+	pred := make([]int, len(test.Maps))
+	t1 := time.Now()
+	for i, m := range test.Maps {
+		pred[i] = h.Predict(m)
+	}
+	infer := time.Since(t1)
+	out = append(out, waferResult(fmt.Sprintf("HDC-d%d", dim), test.Labels, pred, trainTime, infer))
+
+	// Classical models on the engineered features.
+	Xtr := train.FeatureMatrix()
+	Xte := test.FeatureMatrix()
+	mlpCfg := ml.DefaultMLPConfig()
+	mlpCfg.Epochs = 200
+	mlpCfg.Seed = seed
+	models := []struct {
+		name string
+		cls  ml.Classifier
+	}{
+		{"kNN-5", ml.NewKNNClassifier(5)},
+		{"tree", ml.NewTreeClassifier(12)},
+		{"forest", ml.NewForestClassifier(50, 12, seed)},
+		{"mlp", ml.NewMLPClassifier(mlpCfg)},
+	}
+	for _, m := range models {
+		t0 = time.Now()
+		if err := m.cls.Fit(Xtr, train.Labels); err != nil {
+			return nil, fmt.Errorf("core: wafer %s: %w", m.name, err)
+		}
+		trainTime = time.Since(t0)
+		t1 = time.Now()
+		// Inference cost includes feature extraction, mirroring the HDC
+		// path which includes encoding.
+		p := make([]int, len(test.Maps))
+		for i, mp := range test.Maps {
+			p[i] = m.cls.Predict(wafer.Features(mp))
+		}
+		infer = time.Since(t1)
+		_ = Xte
+		out = append(out, waferResult(m.name, test.Labels, p, trainTime, infer))
+	}
+	return out, nil
+}
+
+func waferResult(name string, labels, pred []int, train, infer time.Duration) WaferResult {
+	per := time.Duration(0)
+	if len(pred) > 0 {
+		per = infer / time.Duration(len(pred))
+	}
+	return WaferResult{
+		Name:      name,
+		Accuracy:  ml.Accuracy(labels, pred),
+		MacroF1:   ml.MacroF1(labels, pred, int(wafer.NumClasses)),
+		TrainTime: train,
+		InferPer:  per,
+		Confusion: ml.ConfusionMatrix(labels, pred, int(wafer.NumClasses)),
+	}
+}

@@ -1,0 +1,166 @@
+// Package experiments implements the reproduction harness: one function per
+// table (T1–T10) and figure (F1–F6) of the experiment index in DESIGN.md.
+// Each experiment prints its rows/series to the configured writer and
+// returns structured results so tests can assert the qualitative shape the
+// survey reports. cmd/itrbench and the root-level benchmarks both drive
+// this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/liberty"
+	"repro/internal/spice"
+)
+
+// Config controls experiment scale and output.
+type Config struct {
+	// Quick shrinks workloads for unit tests and smoke runs.
+	Quick bool
+	Seed  int64
+	W     io.Writer
+}
+
+// Default returns the full-scale configuration printing to stdout.
+func Default() Config { return Config{Seed: 1, W: os.Stdout} }
+
+func (c Config) out() io.Writer {
+	if c.W == nil {
+		return os.Stdout
+	}
+	return c.W
+}
+
+func (c Config) printf(format string, args ...any) {
+	fmt.Fprintf(c.out(), format, args...)
+}
+
+func (c Config) table() *tabwriter.Writer {
+	return tabwriter.NewWriter(c.out(), 2, 4, 2, ' ', 0)
+}
+
+// Shared characterized libraries are expensive; build them once per corner.
+var (
+	libMu    sync.Mutex
+	libCache = map[string]*liberty.Library{}
+)
+
+// library returns a characterized library at the given temperature and
+// aging shift, cached across experiments. Quick mode uses the coarse grid.
+func library(quick bool, tempK, dVth float64) (*liberty.Library, error) {
+	key := fmt.Sprintf("%v-%g-%g", quick, tempK, dVth)
+	libMu.Lock()
+	defer libMu.Unlock()
+	if l, ok := libCache[key]; ok {
+		return l, nil
+	}
+	p := spice.Default(tempK)
+	p.DVthN += dVth
+	p.DVthP += dVth
+	grid := liberty.DefaultGrid()
+	if quick {
+		grid = liberty.CoarseGrid()
+	}
+	l, err := liberty.Characterize(key, liberty.AllCells(), p, grid)
+	if err != nil {
+		return nil, err
+	}
+	libCache[key] = l
+	return l, nil
+}
+
+// RunAll executes every experiment in order. It stops at the first error.
+func RunAll(cfg Config) error {
+	steps := []struct {
+		name string
+		run  func(Config) error
+	}{
+		{"T1 ML cell characterization", func(c Config) error { _, err := RunT1(c); return err }},
+		{"T2 aging degradation model", func(c Config) error { _, err := RunT2(c); return err }},
+		{"T3 wafer-map classification", func(c Config) error { _, err := RunT3(c); return err }},
+		{"F1 HDC dimension sweep", func(c Config) error { _, err := RunF1(c); return err }},
+		{"F2 coverage vs patterns", func(c Config) error { _, err := RunF2(c); return err }},
+		{"T4 ATPG summary", func(c Config) error { _, err := RunT4(c); return err }},
+		{"T5 diagnosis ranking", func(c Config) error { _, err := RunT5(c); return err }},
+		{"F3 adaptive-test tradeoff", func(c Config) error { _, err := RunF3(c); return err }},
+		{"T6 aging-aware STA", func(c Config) error { _, err := RunT6(c); return err }},
+		{"F4 variation Monte Carlo", func(c Config) error { _, err := RunF4(c); return err }},
+		{"F5 learning convergence", func(c Config) error { _, err := RunF5(c); return err }},
+		{"T7 fault-simulation speedup", func(c Config) error { _, err := RunT7(c); return err }},
+		{"T8 test-point insertion (extension)", func(c Config) error { _, err := RunT8(c); return err }},
+		{"T9 transition-fault ATPG (extension)", func(c Config) error { _, err := RunT9(c); return err }},
+		{"T10 temperature corners (extension)", func(c Config) error { _, err := RunT10(c); return err }},
+		{"F6 logic BIST (extension)", func(c Config) error { _, err := RunF6(c); return err }},
+	}
+	for _, s := range steps {
+		cfg.printf("\n================ %s ================\n", s.name)
+		if err := s.run(cfg); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// Names lists the experiment identifiers accepted by Run.
+func Names() []string {
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "F1", "F2", "F3", "F4", "F5", "F6"}
+}
+
+// Run executes one experiment by identifier.
+func Run(id string, cfg Config) error {
+	switch id {
+	case "T1":
+		_, err := RunT1(cfg)
+		return err
+	case "T2":
+		_, err := RunT2(cfg)
+		return err
+	case "T3":
+		_, err := RunT3(cfg)
+		return err
+	case "T4":
+		_, err := RunT4(cfg)
+		return err
+	case "T5":
+		_, err := RunT5(cfg)
+		return err
+	case "T6":
+		_, err := RunT6(cfg)
+		return err
+	case "T7":
+		_, err := RunT7(cfg)
+		return err
+	case "T8":
+		_, err := RunT8(cfg)
+		return err
+	case "T9":
+		_, err := RunT9(cfg)
+		return err
+	case "T10":
+		_, err := RunT10(cfg)
+		return err
+	case "F1":
+		_, err := RunF1(cfg)
+		return err
+	case "F2":
+		_, err := RunF2(cfg)
+		return err
+	case "F3":
+		_, err := RunF3(cfg)
+		return err
+	case "F4":
+		_, err := RunF4(cfg)
+		return err
+	case "F5":
+		_, err := RunF5(cfg)
+		return err
+	case "F6":
+		_, err := RunF6(cfg)
+		return err
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Names())
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Quick: true, Seed: 1, W: buf}
+}
+
+func TestT1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT1(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 6 {
+		t.Fatalf("models = %d", len(res.Reports))
+	}
+	// Shape: at least one non-linear surrogate under 10% MAPE with a
+	// >10x speedup over transient simulation.
+	good := false
+	for _, r := range res.Reports {
+		if r.Name != "linear" && r.MAPE < 0.10 && r.Speedup > 10 {
+			good = true
+		}
+	}
+	if !good {
+		t.Error("no surrogate achieves <10% MAPE at >10x speedup")
+	}
+	if !strings.Contains(buf.String(), "MAPE") {
+		t.Error("table header missing")
+	}
+}
+
+func TestT2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT2(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Shape: degradation grows with years and duty.
+	byDuty := map[float64][]T2Row{}
+	for _, r := range res.Rows {
+		byDuty[r.Duty] = append(byDuty[r.Duty], r)
+	}
+	for duty, rows := range byDuty {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].DVthMV < rows[i-1].DVthMV {
+				t.Errorf("duty %.2f: ΔVth not monotone in years", duty)
+			}
+		}
+	}
+	last := func(d float64) T2Row {
+		rs := byDuty[d]
+		return rs[len(rs)-1]
+	}
+	if last(1.0).DVthMV <= last(0.25).DVthMV {
+		t.Error("higher duty must age more")
+	}
+}
+
+func TestT3Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT3(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 5 {
+		t.Fatalf("models = %d", len(res.Results))
+	}
+	best := 0.0
+	for _, r := range res.Results {
+		if r.Accuracy > best {
+			best = r.Accuracy
+		}
+	}
+	if best < 0.8 {
+		t.Errorf("best wafer classifier accuracy = %.3f", best)
+	}
+	// HDC (first row) competitive: within 25 points of the best.
+	if res.Results[0].Accuracy < best-0.25 {
+		t.Errorf("HDC %.3f too far below best %.3f", res.Results[0].Accuracy, best)
+	}
+}
+
+func TestF1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunF1(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatal("too few points")
+	}
+	// Shape: the largest dimension is at least as good as the smallest.
+	if res.Points[len(res.Points)-1].Accuracy < res.Points[0].Accuracy-0.05 {
+		t.Errorf("accuracy did not improve with dimension: %+v", res.Points)
+	}
+}
+
+func TestF2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunF2(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := res.Random[len(res.Random)-1].Coverage
+	det := res.ATPG[len(res.ATPG)-1].Coverage
+	if det < rnd {
+		t.Errorf("ATPG final coverage %.3f below random %.3f", det, rnd)
+	}
+	if det < 0.98 {
+		t.Errorf("ATPG coverage = %.3f", det)
+	}
+	// ATPG uses far fewer patterns than the random baseline.
+	if len(res.ATPG) >= len(res.Random) {
+		t.Errorf("ATPG patterns %d not fewer than random %d", len(res.ATPG), len(res.Random))
+	}
+}
+
+func TestT4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT4(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Result.Efficiency < 0.98 {
+			t.Errorf("%s: efficiency %.3f", row.Result.Circuit, row.Result.Efficiency)
+		}
+	}
+}
+
+func TestT5Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT5(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Noise == 0 {
+			// Noiseless diagnosis is essentially solved by both rankers.
+			if row.Baseline.Top1Rate() < 0.95 {
+				t.Errorf("%s noiseless baseline top-1 = %.3f", row.Circuit, row.Baseline.Top1Rate())
+			}
+		}
+		// ML ranking never collapses far below the baseline.
+		if row.ML.Top5Rate() < row.Baseline.Top5Rate()-0.15 {
+			t.Errorf("%s noise %.2f: ML top-5 %.3f vs baseline %.3f",
+				row.Circuit, row.Noise, row.ML.Top5Rate(), row.Baseline.Top5Rate())
+		}
+	}
+}
+
+func TestF3Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunF3(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	best := 0.0
+	for _, c := range res.Curves {
+		if c.AUC < 0.55 {
+			t.Errorf("%s AUC = %.3f barely beats chance", c.Name, c.AUC)
+		}
+		if c.AUC > best {
+			best = c.AUC
+		}
+	}
+	// The multivariate screens must clearly dominate.
+	if best < 0.85 {
+		t.Errorf("best AUC = %.3f", best)
+	}
+	if res.Curves[0].AUC >= best {
+		t.Error("univariate PAT should not be the best screen on correlated data")
+	}
+}
+
+func TestT6Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT6(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range res.Reports {
+		if !(rep.FreshDelay < rep.WorkloadAware && rep.WorkloadAware < rep.WorstCase) {
+			t.Errorf("%s: ordering fresh %.3g / workload %.3g / worst %.3g",
+				rep.Circuit, rep.FreshDelay, rep.WorkloadAware, rep.WorstCase)
+		}
+		if rep.SavingsFrac <= 0.05 {
+			t.Errorf("%s: savings %.3f too small", rep.Circuit, rep.SavingsFrac)
+		}
+	}
+}
+
+func TestF4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunF4(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distribution centered near the nominal, spread positive.
+	if res.Stats.Std <= 0 {
+		t.Error("no variation spread")
+	}
+	lo, hi := res.Nominal*0.8, res.Nominal*1.25
+	if res.Stats.Mean < lo || res.Stats.Mean > hi {
+		t.Errorf("MC mean %.3g far from nominal %.3g", res.Stats.Mean, res.Nominal)
+	}
+	if res.MLMAPE > 0.05 {
+		t.Errorf("surrogate MAPE = %.3f", res.MLMAPE)
+	}
+	// Quick mode uses a small circuit where per-sample STA is already
+	// cheap; the full-scale run shows the order-of-magnitude gap.
+	if res.MLSpeedup < 2 {
+		t.Errorf("surrogate speedup = %.1f", res.MLSpeedup)
+	}
+}
+
+func TestF5Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunF5(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HDCErrors) == 0 || len(res.MLPLoss) == 0 {
+		t.Fatal("empty series")
+	}
+	if res.HDCErrors[len(res.HDCErrors)-1] > res.HDCErrors[0] {
+		t.Error("HDC errors increased over retraining")
+	}
+	if res.MLPLoss[len(res.MLPLoss)-1] >= res.MLPLoss[0] {
+		t.Error("MLP loss did not decrease")
+	}
+}
+
+func TestT7Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT7(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Speedup < 4 {
+			t.Errorf("%s: parallel speedup %.1f too small", row.Circuit, row.Speedup)
+		}
+		if row.CollapseSaving <= 0.1 {
+			t.Errorf("%s: collapsing saved only %.0f%%", row.Circuit, row.CollapseSaving*100)
+		}
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("T2", quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("bogus", quickCfg(&buf)); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if len(Names()) != 16 {
+		t.Errorf("names = %v", Names())
+	}
+}
+
+func TestT8Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT8(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Shape: the random-pattern-resistant comparators gain from test
+	// points; no circuit gets worse.
+	gained := false
+	for _, r := range res.Rows {
+		if r.AfterFull < r.Before-0.02 {
+			t.Errorf("%s: coverage degraded %.3f -> %.3f", r.Circuit, r.Before, r.AfterFull)
+		}
+		if r.AfterFull > r.Before+0.05 {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("no circuit gained >5 points from test points")
+	}
+}
+
+func TestF6Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunF6(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatal("too few points")
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Coverage < res.Points[i-1].Coverage {
+			t.Error("BIST coverage decreased with more patterns")
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Coverage < 0.9 {
+		t.Errorf("final BIST coverage = %.3f", last.Coverage)
+	}
+	if last.Aliased > last.Detected/50+1 {
+		t.Errorf("aliasing %d of %d implausibly high", last.Aliased, last.Detected)
+	}
+}
+
+func TestT9Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT9(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range res.Rows {
+		if r.ATPGCov < r.RandomCov-1e-9 {
+			t.Errorf("%s: ATPG transition coverage %.3f below random %.3f",
+				r.Circuit, r.ATPGCov, r.RandomCov)
+		}
+		reached := r.ATPGCov + float64(r.Untestable)/float64(r.Faults)
+		if reached < 0.9 {
+			t.Errorf("%s: transition test efficiency %.3f", r.Circuit, reached)
+		}
+	}
+}
+
+func TestT10Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunT10(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatal("too few corners")
+	}
+	// Leakage grows strictly with temperature, by orders of magnitude.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].LibLeakage <= res.Rows[i-1].LibLeakage {
+			t.Error("leakage not increasing with temperature")
+		}
+	}
+	cold, hot := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if hot.LibLeakage < 20*cold.LibLeakage {
+		t.Errorf("leakage span only %.1fx from %g K to %g K",
+			hot.LibLeakage/cold.LibLeakage, cold.TempK, hot.TempK)
+	}
+	// Delay moves mildly (well under 2x across the whole range).
+	if r := hot.MedianDelay / cold.MedianDelay; r < 0.5 || r > 2 {
+		t.Errorf("median delay ratio across corners = %f", r)
+	}
+}

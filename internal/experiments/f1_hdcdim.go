@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wafer"
+)
+
+// F1Point is one sample of the accuracy-vs-dimension curve.
+type F1Point struct {
+	Dim      int
+	Accuracy float64
+}
+
+// F1Result holds figure F1's series.
+type F1Result struct {
+	Points []F1Point
+}
+
+// RunF1 reproduces figure F1: HDC wafer-classification accuracy as a
+// function of the hypervector dimension. The shape to reproduce: accuracy
+// climbs steeply at small dimensions and saturates.
+func RunF1(cfg Config) (*F1Result, error) {
+	wcfg := wafer.DefaultConfig()
+	trainN, testN := 40, 20
+	dims := []int{128, 256, 512, 1024, 2048, 4096, 8192}
+	if cfg.Quick {
+		wcfg.Size = 32
+		trainN, testN = 12, 6
+		dims = []int{128, 512, 2048}
+	}
+	train := wafer.GenerateDataset(trainN, wcfg, cfg.Seed)
+	test := wafer.GenerateDataset(testN, wcfg, cfg.Seed+1)
+	res := &F1Result{}
+	tw := cfg.table()
+	fmt.Fprintf(tw, "dimension\taccuracy\n")
+	for _, dim := range dims {
+		h := core.NewHDCWaferClassifier(dim, wcfg.Size, 20, cfg.Seed)
+		if err := h.Fit(train); err != nil {
+			return nil, err
+		}
+		correct := 0
+		for i, m := range test.Maps {
+			if h.Predict(m) == test.Labels[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(test.Maps))
+		res.Points = append(res.Points, F1Point{Dim: dim, Accuracy: acc})
+		fmt.Fprintf(tw, "%d\t%.1f%%\n", dim, acc*100)
+	}
+	return res, tw.Flush()
+}

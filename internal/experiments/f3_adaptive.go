@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/outlier"
+)
+
+// F3Curve is one scorer's tradeoff curve with its AUC.
+type F3Curve struct {
+	Name   string
+	AUC    float64
+	Points []outlier.Point
+}
+
+// F3Result holds figure F3.
+type F3Result struct {
+	Curves []F3Curve
+}
+
+// RunF3 reproduces figure F3: the escape-vs-overkill tradeoff of the three
+// outlier screens on a synthetic correlated lot. Shape: every curve trades
+// escapes against overkill monotonically; the multivariate screens dominate
+// the univariate PAT screen (higher AUC).
+func RunF3(cfg Config) (*F3Result, error) {
+	lcfg := outlier.DefaultLotConfig()
+	if cfg.Quick {
+		lcfg.Devices = 600
+	}
+	lot := outlier.Synthesize(lcfg, cfg.Seed)
+	var ref [][]float64
+	for i, d := range lot.Defective {
+		if !d {
+			ref = append(ref, lot.X[i])
+		}
+	}
+	scorers := []struct {
+		name string
+		s    outlier.Scorer
+	}{
+		{"zscore-PAT", &outlier.ZScorePAT{}},
+		{"mahalanobis", &outlier.Mahalanobis{}},
+		{"kNN-10", &outlier.KNNOutlier{K: 10}},
+		{"PCA-residual", &outlier.PCAResidual{}},
+	}
+	res := &F3Result{}
+	for _, sc := range scorers {
+		if err := sc.s.Fit(ref); err != nil {
+			return nil, err
+		}
+		scores := outlier.ScoreAll(sc.s, lot.X)
+		res.Curves = append(res.Curves, F3Curve{
+			Name:   sc.name,
+			AUC:    outlier.AUC(scores, lot.Defective),
+			Points: outlier.Sweep(scores, lot.Defective, 40),
+		})
+	}
+	cfg.printf("lot: %d devices, %d tests, %.1f%% defect rate\n",
+		lcfg.Devices, lcfg.Tests, lcfg.DefectRate*100)
+	tw := cfg.table()
+	fmt.Fprintf(tw, "method\tAUC\tescapes@1%%OK\tescapes@5%%OK\tescapes@10%%OK\n")
+	for _, c := range res.Curves {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f%%\t%.1f%%\t%.1f%%\n",
+			c.Name, c.AUC,
+			escapeAtOverkill(c.Points, 0.01)*100,
+			escapeAtOverkill(c.Points, 0.05)*100,
+			escapeAtOverkill(c.Points, 0.10)*100)
+	}
+	return res, tw.Flush()
+}
+
+// escapeAtOverkill returns the lowest escape rate achievable within the
+// overkill budget.
+func escapeAtOverkill(pts []outlier.Point, budget float64) float64 {
+	best := 1.0
+	for _, p := range pts {
+		if p.OverkillRate <= budget && p.EscapeRate < best {
+			best = p.EscapeRate
+		}
+	}
+	return best
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/wafer"
+)
+
+// F5Result holds the learning-convergence series (figure F5).
+type F5Result struct {
+	HDCErrors []int     // misclassified training maps per retraining epoch
+	MLPLoss   []float64 // training loss per epoch
+}
+
+// RunF5 reproduces figure F5: online-learning convergence of the HDC
+// classifier (perceptron retraining errors per epoch) next to the MLP
+// training-loss curve on the same wafer task. Shape: both fall steeply in
+// the first epochs then flatten.
+func RunF5(cfg Config) (*F5Result, error) {
+	wcfg := wafer.DefaultConfig()
+	trainN, dim, epochs := 40, 4096, 30
+	mlpEpochs := 120
+	if cfg.Quick {
+		wcfg.Size = 32
+		trainN, dim, epochs = 12, 1024, 10
+		mlpEpochs = 40
+	}
+	train := wafer.GenerateDataset(trainN, wcfg, cfg.Seed)
+
+	h := core.NewHDCWaferClassifier(dim, wcfg.Size, epochs, cfg.Seed)
+	if err := h.Fit(train); err != nil {
+		return nil, err
+	}
+
+	mcfg := ml.DefaultMLPConfig()
+	mcfg.Epochs = mlpEpochs
+	mcfg.Seed = cfg.Seed
+	mlp := ml.NewMLPClassifier(mcfg)
+	if err := mlp.Fit(train.FeatureMatrix(), train.Labels); err != nil {
+		return nil, err
+	}
+
+	res := &F5Result{HDCErrors: h.ErrHistory, MLPLoss: mlp.History()}
+	tw := cfg.table()
+	fmt.Fprintf(tw, "epoch\tHDC train errors\tMLP train loss\n")
+	n := len(res.HDCErrors)
+	if len(res.MLPLoss) > n {
+		n = len(res.MLPLoss)
+	}
+	for e := 0; e < n; e++ {
+		he, ml := "-", "-"
+		if e < len(res.HDCErrors) {
+			he = fmt.Sprintf("%d", res.HDCErrors[e])
+		}
+		if e < len(res.MLPLoss) {
+			ml = fmt.Sprintf("%.4f", res.MLPLoss[e])
+		}
+		if e < 10 || e%5 == 0 || e == n-1 {
+			fmt.Fprintf(tw, "%d\t%s\t%s\n", e, he, ml)
+		}
+	}
+	return res, tw.Flush()
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/liberty"
+	"repro/internal/spice"
+)
+
+// T1Result holds the ML-characterization comparison (table T1).
+type T1Result struct {
+	Corpus  *core.ArcData
+	Reports []*core.SurrogateReport
+}
+
+// RunT1 reproduces table T1: per-model surrogate error and speedup against
+// transistor-level characterization across the cell set, slew/load grid and
+// an aging ΔVth sweep.
+func RunT1(cfg Config) (*T1Result, error) {
+	cells := liberty.BaseCells()
+	grid := liberty.DefaultGrid()
+	dVths := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10}
+	if cfg.Quick {
+		cells = cells[:6]
+		grid = liberty.CoarseGrid()
+		dVths = []float64{0, 0.05, 0.10}
+	}
+	data, err := core.BuildArcData(cells, spice.Default(300), dVths, grid)
+	if err != nil {
+		return nil, err
+	}
+	cfg.printf("ground truth: %d SPICE transients over %d cells, total %v (%v/point)\n",
+		data.Runs, len(cells), data.SpiceTime.Round(time.Millisecond),
+		(data.SpiceTime / time.Duration(data.Runs)).Round(time.Microsecond))
+
+	res := &T1Result{Corpus: data}
+	tw := cfg.table()
+	fmt.Fprintf(tw, "model\tMAPE\tRMSE[ps]\tR2\ttrain\tpredict/pt\tspeedup\n")
+	for _, mz := range core.ModelZoo(cfg.Seed) {
+		_, rep, err := core.TrainSurrogate(mz.Name, mz.New(), data, 0.7, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Reports = append(res.Reports, rep)
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.3f\t%.4f\t%v\t%v\t%.1fx\n",
+			rep.Name, rep.MAPE*100, rep.RMSE*1e12, rep.R2,
+			rep.TrainTime.Round(1e6), rep.PredictPer.Round(10), rep.Speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wafer"
+)
+
+// T3Result holds the wafer-classification comparison (table T3).
+type T3Result struct {
+	Results []core.WaferResult
+}
+
+// RunT3 reproduces table T3: HDC against classical ML classifiers on the
+// nine-class wafer-map task — accuracy, macro-F1 and train/inference cost.
+func RunT3(cfg Config) (*T3Result, error) {
+	wcfg := wafer.DefaultConfig()
+	trainN, testN, dim := 60, 25, 4096
+	if cfg.Quick {
+		wcfg.Size = 32
+		trainN, testN, dim = 16, 8, 2048
+	}
+	train := wafer.GenerateDataset(trainN, wcfg, cfg.Seed)
+	test := wafer.GenerateDataset(testN, wcfg, cfg.Seed+1)
+	cfg.printf("dataset: %d train / %d test maps, %d classes, %dx%d grid\n",
+		len(train.Maps), len(test.Maps), wafer.NumClasses, wcfg.Size, wcfg.Size)
+	results, err := core.EvaluateWaferClassifiers(train, test, dim, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tw := cfg.table()
+	fmt.Fprintf(tw, "model\taccuracy\tmacro-F1\ttrain\tinfer/map\n")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.3f\t%v\t%v\n",
+			r.Name, r.Accuracy*100, r.MacroF1, r.TrainTime.Round(1e6), r.InferPer.Round(1e3))
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	// Worst-confused class pair for the HDC model, for the discussion text.
+	hdcCM := results[0].Confusion
+	worstA, worstB, worstN := 0, 0, 0
+	for a := range hdcCM {
+		for b := range hdcCM[a] {
+			if a != b && hdcCM[a][b] > worstN {
+				worstA, worstB, worstN = a, b, hdcCM[a][b]
+			}
+		}
+	}
+	cfg.printf("HDC most-confused pair: %v → %v (%d maps)\n",
+		wafer.Class(worstA), wafer.Class(worstB), worstN)
+	return &T3Result{Results: results}, nil
+}

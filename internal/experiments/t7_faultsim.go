@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// T7Row is one circuit line of the fault-simulation throughput table.
+type T7Row struct {
+	Circuit        string
+	Faults         int
+	UncollapsedN   int
+	Patterns       int
+	SerialTime     time.Duration
+	ParallelTime   time.Duration
+	Speedup        float64
+	CollapseSaving float64 // fraction of faults removed by collapsing
+}
+
+// T7Result holds table T7.
+type T7Result struct {
+	Rows []T7Row
+}
+
+// RunT7 reproduces table T7: 64-way parallel-pattern fault simulation
+// against the serial baseline, and the fault-collapsing ablation. Shape:
+// parallel simulation wins by an order of magnitude and collapsing removes
+// roughly a third of the fault universe.
+func RunT7(cfg Config) (*T7Result, error) {
+	suite := []*circuit.Netlist{
+		circuit.RippleAdder(16),
+		circuit.ArrayMultiplier(8),
+		circuit.Random(32, 1200, 2),
+	}
+	patterns := 512
+	if cfg.Quick {
+		suite = []*circuit.Netlist{
+			circuit.RippleAdder(8),
+			circuit.Random(16, 200, 2),
+		}
+		patterns = 128
+	}
+	res := &T7Result{}
+	tw := cfg.table()
+	fmt.Fprintf(tw, "circuit\tfaults(all)\tfaults(collapsed)\tpatterns\tserial\tparallel\tspeedup\n")
+	for _, c := range suite {
+		fsim, err := fault.NewSimulator(c)
+		if err != nil {
+			return nil, err
+		}
+		all := fault.AllFaults(c)
+		faults := fault.Collapse(c, all)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		p := logic.NewPatternSet(len(c.PIs), patterns)
+		p.RandFill(rng.Uint64)
+
+		t0 := time.Now()
+		rs := fsim.RunSerial(p, faults)
+		serial := time.Since(t0)
+		t1 := time.Now()
+		rp := fsim.Run(p, faults)
+		parallel := time.Since(t1)
+		if rs.Detected != rp.Detected {
+			return nil, fmt.Errorf("T7: serial/parallel disagree on %s: %d vs %d",
+				c.Name, rs.Detected, rp.Detected)
+		}
+		row := T7Row{
+			Circuit: c.Name, Faults: len(faults), UncollapsedN: len(all),
+			Patterns: patterns, SerialTime: serial, ParallelTime: parallel,
+			CollapseSaving: 1 - float64(len(faults))/float64(len(all)),
+		}
+		if parallel > 0 {
+			row.Speedup = float64(serial) / float64(parallel)
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(tw, "%s\t%d\t%d (-%.0f%%)\t%d\t%v\t%v\t%.1fx\n",
+			c.Name, len(all), len(faults), row.CollapseSaving*100, patterns,
+			serial.Round(10*time.Microsecond), parallel.Round(10*time.Microsecond), row.Speedup)
+	}
+	return res, tw.Flush()
+}

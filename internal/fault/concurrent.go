@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// RunConcurrent fault-simulates the pattern set across multiple goroutines,
+// each with its own compiled simulator, splitting the fault list into
+// contiguous shards. Results are identical to Simulator.Run (fault dropping
+// happens within each shard, and detection indices do not depend on other
+// faults). workers <= 0 selects GOMAXPROCS.
+func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		fsim, err := NewSimulator(n)
+		if err != nil {
+			return nil, err
+		}
+		return fsim.Run(p, faults), nil
+	}
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	type shard struct {
+		lo, hi int
+		out    *Result
+		err    error
+	}
+	shards := make([]shard, workers)
+	per := (len(faults) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		shards[w] = shard{lo: lo, hi: hi}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			fsim, err := NewSimulator(n)
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.out = fsim.Run(p, faults[s.lo:s.hi])
+		}(&shards[w])
+	}
+	wg.Wait()
+	for _, s := range shards {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.out == nil {
+			continue
+		}
+		copy(res.DetectedBy[s.lo:s.hi], s.out.DetectedBy)
+		res.Detected += s.out.Detected
+	}
+	if res.Total > 0 {
+		res.Coverage = float64(res.Detected) / float64(res.Total)
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Property: collapsing never invents faults and never changes which
+// pattern sets achieve detection of the surviving representatives — on
+// random circuits, every collapsed fault's detection status matches its
+// status in the uncollapsed run.
+func TestCollapsePreservesDetection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(6+rng.Intn(6), 30+rng.Intn(60), seed)
+		fsim, err := NewSimulator(c)
+		if err != nil {
+			return false
+		}
+		all := AllFaults(c)
+		col := Collapse(c, all)
+		if len(col) > len(all) {
+			return false
+		}
+		p := logic.NewPatternSet(len(c.PIs), 96)
+		p.RandFill(rng.Uint64)
+		rAll := fsim.Run(p, all)
+		rCol := fsim.Run(p, col)
+		// Index the uncollapsed results.
+		status := map[Fault]bool{}
+		for i, fl := range all {
+			status[fl] = rAll.DetectedBy[i] >= 0
+		}
+		for i, fl := range col {
+			if status[fl] != (rCol.DetectedBy[i] >= 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a fault detected by a pattern set is also detected by any
+// superset of that pattern set (monotonicity of detection).
+func TestDetectionMonotoneInPatterns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(8, 60, seed)
+		fsim, err := NewSimulator(c)
+		if err != nil {
+			return false
+		}
+		faults := Universe(c)
+		small := logic.NewPatternSet(len(c.PIs), 32)
+		small.RandFill(rng.Uint64)
+		big := small.Clone()
+		extra := logic.NewPatternSet(len(c.PIs), 32)
+		extra.RandFill(rng.Uint64)
+		for k := 0; k < extra.N; k++ {
+			big.Append(extra.Pattern(k))
+		}
+		rs := fsim.Run(small, faults)
+		rb := fsim.Run(big, faults)
+		for i := range faults {
+			if rs.DetectedBy[i] >= 0 && rb.DetectedBy[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Simulator performs serial-fault, parallel-pattern stuck-at fault
+// simulation (PPSFP): the good circuit is simulated once per 64-pattern
+// block, then each live fault is injected and only its structural fanout
+// cone re-evaluated; a fault is detected when any primary output differs
+// from the good value in any pattern bit.
+type Simulator struct {
+	Net   *circuit.Netlist
+	good  *sim.Simulator
+	cones [][]int      // per gate ID: fanout cone in topological order (incl. the gate)
+	isPO  []bool       // per gate ID
+	fval  []logic.Word // scratch: faulty values
+	tpos  []int        // gate ID -> topological position
+}
+
+// NewSimulator compiles a fault simulator for the netlist.
+func NewSimulator(n *circuit.Netlist) (*Simulator, error) {
+	gs, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	fs := &Simulator{
+		Net:   n,
+		good:  gs,
+		cones: make([][]int, len(n.Gates)),
+		isPO:  make([]bool, len(n.Gates)),
+		fval:  make([]logic.Word, len(n.Gates)),
+		tpos:  make([]int, len(n.Gates)),
+	}
+	for i, id := range n.TopoOrder() {
+		fs.tpos[id] = i
+	}
+	for _, po := range n.POs {
+		fs.isPO[po] = true
+	}
+	return fs, nil
+}
+
+// cone returns the fanout cone of gate id (including id), in topological
+// order, computing and caching it on first use.
+func (s *Simulator) cone(id int) []int {
+	if s.cones[id] != nil {
+		return s.cones[id]
+	}
+	seen := map[int]bool{id: true}
+	stack := []int{id}
+	var cone []int
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cone = append(cone, g)
+		for _, fo := range s.Net.Gates[g].Fanout {
+			if !seen[fo] {
+				seen[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	sort.Slice(cone, func(i, j int) bool { return s.tpos[cone[i]] < s.tpos[cone[j]] })
+	s.cones[id] = cone
+	return cone
+}
+
+// detectWord simulates fault f against the good values currently held in
+// s.good (from the last Block call) and returns, for each PO index, the word
+// of pattern bits where the faulty response differs. The aggregate OR of
+// all PO difference words is returned as well.
+func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) logic.Word {
+	n := s.Net
+	site := f.Gate
+	var force logic.Word
+	if f.SA == 1 {
+		force = ^logic.Word(0)
+	}
+	var faninBuf [8]logic.Word
+	var diff logic.Word
+	cone := s.cone(site)
+	// Evaluate the cone with faulty values. Gates outside the cone keep
+	// good values; s.fval is lazily filled per cone member.
+	for ci, id := range cone {
+		g := n.Gates[id]
+		var v logic.Word
+		if ci == 0 && f.Pin < 0 {
+			// Output (stem) fault on the site gate itself.
+			v = force
+		} else {
+			in := faninBuf[:0]
+			for pin, fi := range g.Fanin {
+				var w logic.Word
+				if id == site && pin == f.Pin {
+					w = force // input branch fault
+				} else if s.inCone(cone, ci, fi) {
+					w = s.fval[fi]
+				} else {
+					w = s.good.Value(fi)
+				}
+				in = append(in, w)
+			}
+			if g.Type == circuit.Input || g.Type == circuit.DFF {
+				v = s.good.Value(id) // PIs unchanged unless stem-faulted
+			} else {
+				v = sim.Eval(g.Type, in)
+			}
+			if id == site && f.Pin < 0 {
+				v = force
+			}
+		}
+		s.fval[id] = v
+		if s.isPO[id] {
+			d := (v ^ s.good.Value(id)) & mask
+			if d != 0 && perPO != nil {
+				for poIdx, po := range n.POs {
+					if po == id {
+						perPO[poIdx] |= d
+					}
+				}
+			}
+			diff |= d
+		}
+	}
+	return diff
+}
+
+// inCone reports whether gate fi appears in cone before position ci. Cones
+// are topologically sorted, so any fanin inside the cone appears earlier;
+// a simple backward scan is cheap because cones are small relative to the
+// netlist and fanins are near their consumers.
+func (s *Simulator) inCone(cone []int, ci, fi int) bool {
+	for k := ci - 1; k >= 0; k-- {
+		if cone[k] == fi {
+			return true
+		}
+		// Early exit: cone is topologically ordered, so once we pass below
+		// fi's topological position the fanin cannot appear.
+		if s.tpos[cone[k]] < s.tpos[fi] {
+			return false
+		}
+	}
+	return false
+}
+
+// Result summarizes a fault simulation run.
+type Result struct {
+	Total      int
+	Detected   int
+	DetectedBy []int // per fault: index of first detecting pattern, -1 if undetected
+	Coverage   float64
+}
+
+// Run fault-simulates the pattern set against the fault list with fault
+// dropping and returns detection results. Faults are not mutated.
+func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
+	if p.Inputs != len(s.Net.PIs) {
+		panic(fmt.Sprintf("fault: pattern width %d != PIs %d", p.Inputs, len(s.Net.PIs)))
+	}
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	live := make([]int, len(faults))
+	for i := range live {
+		live[i] = i
+	}
+	pi := make([]logic.Word, len(s.Net.PIs))
+	words := p.Words()
+	for w := 0; w < words && len(live) > 0; w++ {
+		for i := range pi {
+			pi[i] = p.Bits[i][w]
+		}
+		s.good.Block(pi)
+		mask := p.TailMask(w)
+		kept := live[:0]
+		for _, fi := range live {
+			diff := s.detectWord(faults[fi], mask, nil)
+			if diff != 0 {
+				// First detecting pattern = lowest set bit.
+				bit := 0
+				for diff&1 == 0 {
+					diff >>= 1
+					bit++
+				}
+				res.DetectedBy[fi] = w*logic.WordBits + bit
+				res.Detected++
+			} else {
+				kept = append(kept, fi)
+			}
+		}
+		live = kept
+	}
+	if res.Total > 0 {
+		res.Coverage = float64(res.Detected) / float64(res.Total)
+	}
+	return res
+}
+
+// RunSerial is the baseline used by experiment T7: identical algorithm but
+// patterns are applied one at a time (one valid bit per word), forgoing the
+// 64-way parallelism. Fault dropping is still applied.
+func (s *Simulator) RunSerial(p *logic.PatternSet, faults []Fault) *Result {
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	live := make([]int, len(faults))
+	for i := range live {
+		live[i] = i
+	}
+	pi := make([]logic.Word, len(s.Net.PIs))
+	for k := 0; k < p.N && len(live) > 0; k++ {
+		for i := range pi {
+			if p.Get(k, i) {
+				pi[i] = 1
+			} else {
+				pi[i] = 0
+			}
+		}
+		s.good.Block(pi)
+		kept := live[:0]
+		for _, fi := range live {
+			if s.detectWord(faults[fi], 1, nil) != 0 {
+				res.DetectedBy[fi] = k
+				res.Detected++
+			} else {
+				kept = append(kept, fi)
+			}
+		}
+		live = kept
+	}
+	if res.Total > 0 {
+		res.Coverage = float64(res.Detected) / float64(res.Total)
+	}
+	return res
+}
+
+// Signature is a fault's full pass/fail dictionary entry: for each pattern
+// word and each PO, the bits where the faulty circuit differs from the good
+// circuit. Bits[po][word].
+type Signature struct {
+	Bits [][]logic.Word
+}
+
+// FailBits returns the total number of (pattern, PO) failure coordinates.
+func (sg *Signature) FailBits() int {
+	c := 0
+	for _, ws := range sg.Bits {
+		for _, w := range ws {
+			c += logic.PopCount(w)
+		}
+	}
+	return c
+}
+
+// Dictionary fault-simulates without dropping and returns every fault's
+// full failure signature — the input to fault diagnosis.
+func (s *Simulator) Dictionary(p *logic.PatternSet, faults []Fault) []*Signature {
+	words := p.Words()
+	sigs := make([]*Signature, len(faults))
+	for i := range sigs {
+		sigs[i] = &Signature{Bits: make([][]logic.Word, len(s.Net.POs))}
+		for o := range sigs[i].Bits {
+			sigs[i].Bits[o] = make([]logic.Word, words)
+		}
+	}
+	pi := make([]logic.Word, len(s.Net.PIs))
+	perPO := make([]logic.Word, len(s.Net.POs))
+	for w := 0; w < words; w++ {
+		for i := range pi {
+			pi[i] = p.Bits[i][w]
+		}
+		s.good.Block(pi)
+		mask := p.TailMask(w)
+		for fi := range faults {
+			for o := range perPO {
+				perPO[o] = 0
+			}
+			s.detectWord(faults[fi], mask, perPO)
+			for o := range perPO {
+				sigs[fi].Bits[o][w] = perPO[o]
+			}
+		}
+	}
+	return sigs
+}

@@ -1,0 +1,212 @@
+// Package liberty models cryogenic/aging-aware standard cell libraries in
+// the spirit of the Liberty NLDM format: per-arc delay and output-slew
+// tables over an input-slew × output-load grid, pin capacitances and
+// state-dependent leakage, all characterized by the transistor-level
+// simulator in package spice.
+package liberty
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/spice"
+)
+
+// The parametric cell set. Topologies follow standard static CMOS: series
+// NMOS / parallel PMOS for NAND-class, the dual for NOR-class, and
+// complementary pass networks over internal inverters for XOR/XNOR.
+// Series devices are widened to compensate stacking (factor = stack depth).
+
+func invCell() *spice.Cell {
+	c := spice.NewCell("INV", 1)
+	c.AddStage(spice.DevW(0, 2), spice.DevW(0, 1), 0.4e-15)
+	return c
+}
+
+func bufCell() *spice.Cell {
+	c := spice.NewCell("BUF", 1)
+	m := c.AddStage(spice.DevW(0, 1), spice.DevW(0, 0.5), 0.25e-15)
+	c.AddStage(spice.DevW(m, 2), spice.DevW(m, 1), 0.4e-15)
+	return c
+}
+
+func nandCell(n int) *spice.Cell {
+	c := spice.NewCell(fmt.Sprintf("NAND%d", n), n)
+	up := make([]*spice.Network, n)
+	dn := make([]*spice.Network, n)
+	for i := 0; i < n; i++ {
+		up[i] = spice.DevW(i, 2)
+		dn[i] = spice.DevW(i, float64(n))
+	}
+	c.AddStage(spice.Par(up...), spice.Ser(dn...), 0.3e-15*float64(n))
+	return c
+}
+
+func norCell(n int) *spice.Cell {
+	c := spice.NewCell(fmt.Sprintf("NOR%d", n), n)
+	up := make([]*spice.Network, n)
+	dn := make([]*spice.Network, n)
+	for i := 0; i < n; i++ {
+		up[i] = spice.DevW(i, 2*float64(n))
+		dn[i] = spice.DevW(i, 1)
+	}
+	c.AddStage(spice.Ser(up...), spice.Par(dn...), 0.3e-15*float64(n))
+	return c
+}
+
+func andCell(n int) *spice.Cell {
+	c := spice.NewCell(fmt.Sprintf("AND%d", n), n)
+	up := make([]*spice.Network, n)
+	dn := make([]*spice.Network, n)
+	for i := 0; i < n; i++ {
+		up[i] = spice.DevW(i, 2)
+		dn[i] = spice.DevW(i, float64(n))
+	}
+	m := c.AddStage(spice.Par(up...), spice.Ser(dn...), 0.3e-15*float64(n))
+	c.AddStage(spice.DevW(m, 2), spice.DevW(m, 1), 0.4e-15)
+	return c
+}
+
+func orCell(n int) *spice.Cell {
+	c := spice.NewCell(fmt.Sprintf("OR%d", n), n)
+	up := make([]*spice.Network, n)
+	dn := make([]*spice.Network, n)
+	for i := 0; i < n; i++ {
+		up[i] = spice.DevW(i, 2*float64(n))
+		dn[i] = spice.DevW(i, 1)
+	}
+	m := c.AddStage(spice.Ser(up...), spice.Par(dn...), 0.3e-15*float64(n))
+	c.AddStage(spice.DevW(m, 2), spice.DevW(m, 1), 0.4e-15)
+	return c
+}
+
+func xorCell() *spice.Cell {
+	c := spice.NewCell("XOR2", 2)
+	na := c.AddStage(spice.DevW(0, 1), spice.DevW(0, 0.5), 0.2e-15) // ā
+	nb := c.AddStage(spice.DevW(1, 1), spice.DevW(1, 0.5), 0.2e-15) // b̄
+	// Output 1 iff a≠b. PMOS network conducts when output must be high:
+	// Ser(Par(a,b), Par(ā,b̄)) conducts iff (a=0 ∨ b=0) ∧ (a=1 ∨ b=1).
+	pullUp := spice.Ser(
+		spice.Par(spice.DevW(0, 4), spice.DevW(1, 4)),
+		spice.Par(spice.DevW(na, 4), spice.DevW(nb, 4)),
+	)
+	// NMOS network conducts when output must be low (a=b):
+	pullDown := spice.Par(
+		spice.Ser(spice.DevW(0, 2), spice.DevW(1, 2)),
+		spice.Ser(spice.DevW(na, 2), spice.DevW(nb, 2)),
+	)
+	c.AddStage(pullUp, pullDown, 0.8e-15)
+	return c
+}
+
+func xnorCell() *spice.Cell {
+	c := spice.NewCell("XNOR2", 2)
+	na := c.AddStage(spice.DevW(0, 1), spice.DevW(0, 0.5), 0.2e-15)
+	nb := c.AddStage(spice.DevW(1, 1), spice.DevW(1, 0.5), 0.2e-15)
+	// Output 1 iff a=b: PMOS Ser(Par(a,b̄), Par(ā,b)).
+	pullUp := spice.Ser(
+		spice.Par(spice.DevW(0, 4), spice.DevW(nb, 4)),
+		spice.Par(spice.DevW(na, 4), spice.DevW(1, 4)),
+	)
+	pullDown := spice.Par(
+		spice.Ser(spice.DevW(0, 2), spice.DevW(nb, 2)),
+		spice.Ser(spice.DevW(na, 2), spice.DevW(1, 2)),
+	)
+	c.AddStage(pullUp, pullDown, 0.8e-15)
+	return c
+}
+
+func aoi21Cell() *spice.Cell {
+	// y = NOT(a·b + c); pins a=0 b=1 c=2.
+	c := spice.NewCell("AOI21", 3)
+	pullDown := spice.Par(
+		spice.Ser(spice.DevW(0, 2), spice.DevW(1, 2)),
+		spice.DevW(2, 1),
+	)
+	pullUp := spice.Ser(
+		spice.Par(spice.DevW(0, 4), spice.DevW(1, 4)),
+		spice.DevW(2, 4),
+	)
+	c.AddStage(pullUp, pullDown, 0.7e-15)
+	return c
+}
+
+func oai21Cell() *spice.Cell {
+	// y = NOT((a+b)·c).
+	c := spice.NewCell("OAI21", 3)
+	pullDown := spice.Ser(
+		spice.Par(spice.DevW(0, 2), spice.DevW(1, 2)),
+		spice.DevW(2, 2),
+	)
+	pullUp := spice.Par(
+		spice.Ser(spice.DevW(0, 4), spice.DevW(1, 4)),
+		spice.DevW(2, 2),
+	)
+	c.AddStage(pullUp, pullDown, 0.7e-15)
+	return c
+}
+
+// DriveStrengths lists the drive variants characterized for every base cell.
+var DriveStrengths = []struct {
+	Suffix string
+	Factor float64
+}{
+	{"_X1", 1}, {"_X2", 2}, {"_X4", 4},
+}
+
+// BaseCells returns the base (X1) transistor-level cell set in a
+// deterministic order.
+func BaseCells() []*spice.Cell {
+	return []*spice.Cell{
+		invCell(), bufCell(),
+		nandCell(2), nandCell(3),
+		norCell(2), norCell(3),
+		andCell(2), andCell(3),
+		orCell(2), orCell(3),
+		xorCell(), xnorCell(),
+		aoi21Cell(), oai21Cell(),
+	}
+}
+
+// AllCells expands BaseCells across DriveStrengths (X1/X2/X4).
+func AllCells() []*spice.Cell {
+	var out []*spice.Cell
+	for _, base := range BaseCells() {
+		for _, d := range DriveStrengths {
+			out = append(out, base.ScaleDrive(d.Factor, base.Name+d.Suffix))
+		}
+	}
+	return out
+}
+
+// CellFor maps a netlist gate type and fanin count to the library cell base
+// name, e.g. (Nand, 3) → "NAND3".
+func CellFor(t circuit.GateType, fanin int) (string, error) {
+	switch t {
+	case circuit.Not:
+		return "INV", nil
+	case circuit.Buf:
+		return "BUF", nil
+	case circuit.DFF:
+		return "", fmt.Errorf("liberty: DFFs are timing startpoints under full scan, not mapped cells")
+	case circuit.And:
+		return fmt.Sprintf("AND%d", fanin), nil
+	case circuit.Nand:
+		return fmt.Sprintf("NAND%d", fanin), nil
+	case circuit.Or:
+		return fmt.Sprintf("OR%d", fanin), nil
+	case circuit.Nor:
+		return fmt.Sprintf("NOR%d", fanin), nil
+	case circuit.Xor:
+		if fanin != 2 {
+			return "", fmt.Errorf("liberty: no XOR%d cell", fanin)
+		}
+		return "XOR2", nil
+	case circuit.Xnor:
+		if fanin != 2 {
+			return "", fmt.Errorf("liberty: no XNOR%d cell", fanin)
+		}
+		return "XNOR2", nil
+	}
+	return "", fmt.Errorf("liberty: no cell for gate type %v", t)
+}

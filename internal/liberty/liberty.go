@@ -1,0 +1,264 @@
+package liberty
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/spice"
+)
+
+// Table is a two-dimensional NLDM lookup table indexed by input slew
+// (rows) and output load (columns), with bilinear interpolation and clamped
+// extrapolation.
+type Table struct {
+	Slews  []float64 // seconds, ascending
+	Loads  []float64 // farads, ascending
+	Values [][]float64
+}
+
+// Lookup interpolates the table at (slew, load). Queries outside the
+// characterized grid clamp to the boundary (the standard signoff-safe
+// behaviour for our purposes).
+func (t *Table) Lookup(slew, load float64) float64 {
+	i0, i1, fx := bracket(t.Slews, slew)
+	j0, j1, fy := bracket(t.Loads, load)
+	v00 := t.Values[i0][j0]
+	v01 := t.Values[i0][j1]
+	v10 := t.Values[i1][j0]
+	v11 := t.Values[i1][j1]
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}
+
+func bracket(xs []float64, x float64) (int, int, float64) {
+	n := len(xs)
+	if n == 1 || x <= xs[0] {
+		return 0, 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 1, n - 1, 0
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if xs[i] == x {
+		return i, i, 0
+	}
+	lo, hi := i-1, i
+	f := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return lo, hi, f
+}
+
+// TimingArc is one characterized (input pin, input edge) arc of a cell.
+type TimingArc struct {
+	Pin     int
+	InRise  bool // input transition direction
+	OutRise bool // resulting output transition direction
+	Delay   *Table
+	OutSlew *Table
+	Energy  *Table
+}
+
+// Cell is one characterized library cell.
+type Cell struct {
+	Name        string
+	Inputs      int
+	PinCaps     []float64 // farads per input pin
+	Arcs        []TimingArc
+	LeakageAvg  float64 // average over all input states, watts at VDD
+	LeakageMax  float64
+	Transistors int
+}
+
+// Arc returns the timing arc for (pin, input edge).
+func (c *Cell) Arc(pin int, inRise bool) (*TimingArc, bool) {
+	for i := range c.Arcs {
+		if c.Arcs[i].Pin == pin && c.Arcs[i].InRise == inRise {
+			return &c.Arcs[i], true
+		}
+	}
+	return nil, false
+}
+
+// WorstDelay returns the maximum delay over all arcs at (slew, load) —
+// a conservative single-number summary used in reports.
+func (c *Cell) WorstDelay(slew, load float64) float64 {
+	worst := 0.0
+	for i := range c.Arcs {
+		if d := c.Arcs[i].Delay.Lookup(slew, load); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Library is a characterized standard-cell library at one operating corner.
+type Library struct {
+	Name   string
+	Params spice.Params
+	Cells  map[string]*Cell
+	// Characterization cost accounting (experiment T1 compares this against
+	// the ML surrogate's cost).
+	SpiceRuns  int
+	SpiceSteps int
+}
+
+// Cell returns the named cell.
+func (l *Library) Cell(name string) (*Cell, bool) {
+	c, ok := l.Cells[name]
+	return c, ok
+}
+
+// CellNames returns all cell names sorted.
+func (l *Library) CellNames() []string {
+	names := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Grid is the characterization grid specification.
+type Grid struct {
+	Slews []float64
+	Loads []float64
+}
+
+// DefaultGrid returns the standard 7×7 NLDM grid.
+func DefaultGrid() Grid {
+	return Grid{
+		Slews: []float64{2e-12, 5e-12, 10e-12, 20e-12, 40e-12, 80e-12, 160e-12},
+		Loads: []float64{0.5e-15, 1e-15, 2e-15, 4e-15, 8e-15, 16e-15, 32e-15},
+	}
+}
+
+// CoarseGrid returns a 3×3 grid for fast tests.
+func CoarseGrid() Grid {
+	return Grid{
+		Slews: []float64{5e-12, 20e-12, 80e-12},
+		Loads: []float64{1e-15, 4e-15, 16e-15},
+	}
+}
+
+// Characterize builds a library by running the transistor-level simulator
+// over every (cell, pin, edge, slew, load) point of the grid, exactly like
+// a commercial characterization flow. The passed params carry the corner:
+// temperature, supply, and aging ΔVth.
+func Characterize(name string, cells []*spice.Cell, p spice.Params, grid Grid) (*Library, error) {
+	lib := &Library{Name: name, Params: p, Cells: make(map[string]*Cell, len(cells))}
+	for _, sc := range cells {
+		lc, err := characterizeCell(lib, sc, p, grid)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: cell %s: %w", sc.Name, err)
+		}
+		lib.Cells[sc.Name] = lc
+	}
+	return lib, nil
+}
+
+func characterizeCell(lib *Library, sc *spice.Cell, p spice.Params, grid Grid) (*Cell, error) {
+	lc := &Cell{
+		Name:        sc.Name,
+		Inputs:      sc.NumInputs,
+		PinCaps:     make([]float64, sc.NumInputs),
+		Transistors: sc.Transistors(),
+	}
+	for pin := 0; pin < sc.NumInputs; pin++ {
+		lc.PinCaps[pin] = sc.PinCap(pin)
+	}
+	for pin := 0; pin < sc.NumInputs; pin++ {
+		side, ok := spice.SensitizingSideInputs(sc, pin)
+		if !ok {
+			return nil, fmt.Errorf("pin %d not sensitizable", pin)
+		}
+		for _, inRise := range []bool{true, false} {
+			arc := TimingArc{Pin: pin, InRise: inRise}
+			// Output direction from the digital function.
+			in := append([]bool(nil), side...)
+			in[pin] = inRise
+			arc.OutRise = sc.Logic(in)
+			arc.Delay = newTable(grid)
+			arc.OutSlew = newTable(grid)
+			arc.Energy = newTable(grid)
+			for i, slew := range grid.Slews {
+				for j, load := range grid.Loads {
+					m, err := spice.Simulate(sc, p, spice.Arc{
+						Pin: pin, RiseIn: inRise, InSlew: slew,
+						LoadCap: load, SideInputs: side,
+					})
+					if err != nil {
+						return nil, err
+					}
+					lib.SpiceRuns++
+					lib.SpiceSteps += m.Steps
+					arc.Delay.Values[i][j] = m.Delay
+					arc.OutSlew.Values[i][j] = m.Slew
+					arc.Energy.Values[i][j] = m.Energy
+				}
+			}
+			lc.Arcs = append(lc.Arcs, arc)
+		}
+	}
+	// State-dependent leakage over all input vectors.
+	n := sc.NumInputs
+	total, worst := 0.0, 0.0
+	states := 1 << uint(n)
+	for v := 0; v < states; v++ {
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		leak := spice.Leakage(sc, p, in) * p.VDD
+		total += leak
+		if leak > worst {
+			worst = leak
+		}
+	}
+	lc.LeakageAvg = total / float64(states)
+	lc.LeakageMax = worst
+	return lc, nil
+}
+
+func newTable(g Grid) *Table {
+	t := &Table{Slews: g.Slews, Loads: g.Loads}
+	t.Values = make([][]float64, len(g.Slews))
+	for i := range t.Values {
+		t.Values[i] = make([]float64, len(g.Loads))
+	}
+	return t
+}
+
+// DelayHistogram aggregates every delay value stored in the library —
+// the data behind the "cell delay distribution" style figure.
+func (l *Library) DelayHistogram() []float64 {
+	var out []float64
+	for _, name := range l.CellNames() {
+		c := l.Cells[name]
+		for _, arc := range c.Arcs {
+			for _, row := range arc.Delay.Values {
+				out = append(out, row...)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// TotalLeakage sums average leakage across all cells (for corner reports).
+func (l *Library) TotalLeakage() float64 {
+	t := 0.0
+	for _, c := range l.Cells {
+		t += c.LeakageAvg
+	}
+	return t
+}
+
+// Summary describes a library corner in one line.
+func (l *Library) Summary() string {
+	hist := l.DelayHistogram()
+	med := math.NaN()
+	if len(hist) > 0 {
+		med = hist[len(hist)/2]
+	}
+	return fmt.Sprintf("%s: %d cells, %d arcs points, median delay %.1f ps, total avg leakage %.3g W",
+		l.Name, len(l.Cells), l.SpiceRuns, med*1e12, l.TotalLeakage())
+}

@@ -1,0 +1,329 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVString(t *testing.T) {
+	cases := map[V]string{V0: "0", V1: "1", VX: "X", VD: "D", VDbar: "D'"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("V(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := V(99).String(); got != "V(99)" {
+		t.Errorf("invalid value string = %q", got)
+	}
+}
+
+func TestGoodFaulty(t *testing.T) {
+	cases := []struct {
+		v            V
+		good, faulty V
+	}{
+		{V0, V0, V0},
+		{V1, V1, V1},
+		{VX, VX, VX},
+		{VD, V1, V0},
+		{VDbar, V0, V1},
+	}
+	for _, c := range cases {
+		if got := c.v.Good(); got != c.good {
+			t.Errorf("%v.Good() = %v, want %v", c.v, got, c.good)
+		}
+		if got := c.v.Faulty(); got != c.faulty {
+			t.Errorf("%v.Faulty() = %v, want %v", c.v, got, c.faulty)
+		}
+	}
+}
+
+func TestIsD(t *testing.T) {
+	if !VD.IsD() || !VDbar.IsD() {
+		t.Error("VD/VDbar must report IsD")
+	}
+	if V0.IsD() || V1.IsD() || VX.IsD() {
+		t.Error("0/1/X must not report IsD")
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	for _, v := range []V{V0, V1, VX, VD, VDbar} {
+		if got := v.Not().Not(); got != v {
+			t.Errorf("double negation of %v = %v", v, got)
+		}
+	}
+}
+
+// allV is the full five-valued domain.
+var allV = []V{V0, V1, VX, VD, VDbar}
+
+// TestFiveValuedConsistency checks that And/Or/Xor/Not agree with binary
+// logic applied separately to the good and faulty projections, whenever no X
+// is involved.
+func TestFiveValuedConsistency(t *testing.T) {
+	binAnd := func(a, b V) V {
+		if a == V1 && b == V1 {
+			return V1
+		}
+		return V0
+	}
+	binOr := func(a, b V) V {
+		if a == V1 || b == V1 {
+			return V1
+		}
+		return V0
+	}
+	binXor := func(a, b V) V {
+		if a != b {
+			return V1
+		}
+		return V0
+	}
+	for _, a := range allV {
+		for _, b := range allV {
+			if a == VX || b == VX {
+				continue
+			}
+			type op struct {
+				name string
+				five func(V, V) V
+				two  func(V, V) V
+			}
+			for _, o := range []op{{"And", And, binAnd}, {"Or", Or, binOr}, {"Xor", Xor, binXor}} {
+				got := o.five(a, b)
+				if g, w := got.Good(), o.two(a.Good(), b.Good()); g != w {
+					t.Errorf("%s(%v,%v).Good() = %v, want %v", o.name, a, b, g, w)
+				}
+				if g, w := got.Faulty(), o.two(a.Faulty(), b.Faulty()); g != w {
+					t.Errorf("%s(%v,%v).Faulty() = %v, want %v", o.name, a, b, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestFiveValuedXAbsorption(t *testing.T) {
+	// Controlling values override X; otherwise X dominates.
+	if And(V0, VX) != V0 || And(VX, V0) != V0 {
+		t.Error("0 AND X must be 0")
+	}
+	if Or(V1, VX) != V1 || Or(VX, V1) != V1 {
+		t.Error("1 OR X must be 1")
+	}
+	if And(V1, VX) != VX || Or(V0, VX) != VX || Xor(V1, VX) != VX {
+		t.Error("X must propagate through non-controlling inputs")
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	for _, a := range allV {
+		for _, b := range allV {
+			if And(a, b) != And(b, a) {
+				t.Errorf("And(%v,%v) not commutative", a, b)
+			}
+			if Or(a, b) != Or(b, a) {
+				t.Errorf("Or(%v,%v) not commutative", a, b)
+			}
+			if Xor(a, b) != Xor(b, a) {
+				t.Errorf("Xor(%v,%v) not commutative", a, b)
+			}
+		}
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	for _, a := range allV {
+		for _, b := range allV {
+			if And(a, b).Not() != Or(a.Not(), b.Not()) {
+				t.Errorf("De Morgan violated for And(%v,%v)", a, b)
+			}
+			if Or(a, b).Not() != And(a.Not(), b.Not()) {
+				t.Errorf("De Morgan violated for Or(%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestPatternSetSetGet(t *testing.T) {
+	p := NewPatternSet(5, 130)
+	p.Set(0, 0, true)
+	p.Set(64, 3, true)
+	p.Set(129, 4, true)
+	if !p.Get(0, 0) || !p.Get(64, 3) || !p.Get(129, 4) {
+		t.Error("set bits not readable")
+	}
+	if p.Get(1, 0) || p.Get(64, 2) {
+		t.Error("unset bits read as set")
+	}
+	p.Set(64, 3, false)
+	if p.Get(64, 3) {
+		t.Error("cleared bit still set")
+	}
+}
+
+func TestPatternSetWords(t *testing.T) {
+	for _, c := range []struct{ n, words int }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}} {
+		p := NewPatternSet(2, c.n)
+		if got := p.Words(); got != c.words {
+			t.Errorf("Words() for n=%d = %d, want %d", c.n, got, c.words)
+		}
+	}
+}
+
+func TestTailMask(t *testing.T) {
+	p := NewPatternSet(1, 70)
+	if got := p.TailMask(0); got != ^Word(0) {
+		t.Errorf("full word mask = %x", got)
+	}
+	if got := p.TailMask(1); got != (1<<6)-1 {
+		t.Errorf("tail mask = %x, want %x", got, (1<<6)-1)
+	}
+	p2 := NewPatternSet(1, 64)
+	if got := p2.TailMask(0); got != ^Word(0) {
+		t.Errorf("exact word mask = %x", got)
+	}
+}
+
+func TestPatternRoundTrip(t *testing.T) {
+	p := NewPatternSet(7, 20)
+	bits := []bool{true, false, true, true, false, false, true}
+	p.SetPattern(13, bits)
+	got := p.Pattern(13)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("pattern mismatch at input %d", i)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	p := NewPatternSet(3, 0)
+	for i := 0; i < 200; i++ {
+		idx := p.Append([]bool{i%2 == 0, i%3 == 0, i%5 == 0})
+		if idx != i {
+			t.Fatalf("Append returned %d, want %d", idx, i)
+		}
+	}
+	if p.N != 200 {
+		t.Fatalf("N = %d, want 200", p.N)
+	}
+	for i := 0; i < 200; i++ {
+		if p.Get(i, 0) != (i%2 == 0) || p.Get(i, 1) != (i%3 == 0) || p.Get(i, 2) != (i%5 == 0) {
+			t.Fatalf("pattern %d corrupted after appends", i)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewPatternSet(2, 66)
+	p.Set(65, 1, true)
+	q := p.Clone()
+	p.Set(65, 1, false)
+	if !q.Get(65, 1) {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestRandFillRespectsTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPatternSet(3, 70)
+	p.RandFill(rng.Uint64)
+	for i := 0; i < 3; i++ {
+		if p.Bits[i][1]&^p.TailMask(1) != 0 {
+			t.Errorf("input %d has bits beyond pattern count", i)
+		}
+	}
+}
+
+func TestExhaustive(t *testing.T) {
+	p := Exhaustive(4)
+	if p.N != 16 {
+		t.Fatalf("N = %d, want 16", p.N)
+	}
+	seen := map[string]bool{}
+	for n := 0; n < p.N; n++ {
+		seen[FormatBits(p.Pattern(n))] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("exhaustive set has %d distinct patterns, want 16", len(seen))
+	}
+}
+
+func TestExhaustivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exhaustive(25) must panic")
+		}
+	}()
+	Exhaustive(25)
+}
+
+func TestParseFormatBits(t *testing.T) {
+	bits, err := ParseBits("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatBits(bits); got != "10110" {
+		t.Errorf("round trip = %q", got)
+	}
+	if _, err := ParseBits("10x"); err == nil {
+		t.Error("invalid character must error")
+	}
+}
+
+func TestParseFormatProperty(t *testing.T) {
+	f := func(raw []bool) bool {
+		s := FormatBits(raw)
+		back, err := ParseBits(s)
+		if err != nil || len(back) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if back[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Set followed by Get returns the written value for arbitrary
+// in-range coordinates.
+func TestPatternSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inputs := 1 + rng.Intn(20)
+		n := 1 + rng.Intn(300)
+		p := NewPatternSet(inputs, n)
+		type key struct{ n, i int }
+		want := map[key]bool{}
+		for k := 0; k < 500; k++ {
+			pos := key{rng.Intn(n), rng.Intn(inputs)}
+			v := rng.Intn(2) == 1
+			p.Set(pos.n, pos.i, v)
+			want[pos] = v
+		}
+		for pos, v := range want {
+			if p.Get(pos.n, pos.i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFiveValuedAnd(b *testing.B) {
+	var sink V
+	for i := 0; i < b.N; i++ {
+		sink = And(allV[i%5], allV[(i+1)%5])
+	}
+	_ = sink
+}

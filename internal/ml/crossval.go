@@ -1,0 +1,63 @@
+package ml
+
+import "fmt"
+
+// CVResult aggregates per-fold regression scores.
+type CVResult struct {
+	FoldMAPE []float64
+	FoldRMSE []float64
+	FoldR2   []float64
+}
+
+// MeanMAPE returns the average fold MAPE.
+func (r CVResult) MeanMAPE() float64 { return mean(r.FoldMAPE) }
+
+// MeanRMSE returns the average fold RMSE.
+func (r CVResult) MeanRMSE() float64 { return mean(r.FoldRMSE) }
+
+// MeanR2 returns the average fold R².
+func (r CVResult) MeanR2() float64 { return mean(r.FoldR2) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CrossValidate runs k-fold cross-validation of a regressor factory over a
+// dataset, fitting a fresh model per fold. The factory must return an
+// untrained model each call.
+func CrossValidate(factory func() Regressor, X [][]float64, y []float64, k int, seed int64) (CVResult, error) {
+	var res CVResult
+	if len(X) != len(y) || len(X) == 0 {
+		return res, fmt.Errorf("ml: cross-validation needs matching non-empty X, y")
+	}
+	folds := KFold(len(X), k, seed)
+	for _, fold := range folds {
+		trainIdx, testIdx := fold[0], fold[1]
+		Xtr := make([][]float64, len(trainIdx))
+		ytr := make([]float64, len(trainIdx))
+		for i, idx := range trainIdx {
+			Xtr[i], ytr[i] = X[idx], y[idx]
+		}
+		m := factory()
+		if err := m.Fit(Xtr, ytr); err != nil {
+			return res, err
+		}
+		yTrue := make([]float64, len(testIdx))
+		yPred := make([]float64, len(testIdx))
+		for i, idx := range testIdx {
+			yTrue[i] = y[idx]
+			yPred[i] = m.Predict(X[idx])
+		}
+		res.FoldMAPE = append(res.FoldMAPE, MAPE(yTrue, yPred))
+		res.FoldRMSE = append(res.FoldRMSE, RMSE(yTrue, yPred))
+		res.FoldR2 = append(res.FoldR2, R2(yTrue, yPred))
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+func ExampleRidge() {
+	// y = 2x + 1
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{1, 3, 5, 7}
+	r := ml.NewRidge(1e-9)
+	if err := r.Fit(X, y); err != nil {
+		panic(err)
+	}
+	fmt.Printf("w=%.2f b=%.2f predict(4)=%.2f\n", r.Weights[0], r.Intercept, r.Predict([]float64{4}))
+	// Output: w=2.00 b=1.00 predict(4)=9.00
+}
+
+func ExampleKNNClassifier() {
+	X := [][]float64{{0, 0}, {0, 1}, {5, 5}, {5, 6}}
+	labels := []int{0, 0, 1, 1}
+	knn := ml.NewKNNClassifier(1)
+	if err := knn.Fit(X, labels); err != nil {
+		panic(err)
+	}
+	fmt.Println(knn.Predict([]float64{0.2, 0.1}), knn.Predict([]float64{4.9, 5.2}))
+	// Output: 0 1
+}
+
+func ExampleFitPCA() {
+	// Points on the line y = x: one dominant direction.
+	X := [][]float64{{-2, -2}, {-1, -1}, {0, 0}, {1, 1}, {2, 2}}
+	p, err := ml.FitPCA(X, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("residual of an on-line point: %.3f\n", p.ReconstructionError([]float64{3, 3}))
+	fmt.Printf("residual of an off-line point: %.3f\n", p.ReconstructionError([]float64{1, -1}))
+	// Output:
+	// residual of an on-line point: 0.000
+	// residual of an off-line point: 1.414
+}
+
+func ExampleConfusionMatrix() {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{0, 1, 1, 1}
+	cm := ml.ConfusionMatrix(truth, pred, 2)
+	fmt.Println(cm[0], cm[1])
+	// Output: [1 1] [0 2]
+}

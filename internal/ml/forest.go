@@ -1,0 +1,221 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	Trees       int
+	MaxDepth    int
+	MinLeaf     int
+	MaxFeatures int // 0 = sqrt(dim) for classification, dim/3 for regression
+	Seed        int64
+}
+
+// ForestRegressor is a bagged ensemble of regression trees with feature
+// subsampling.
+type ForestRegressor struct {
+	Config ForestConfig
+	trees  []*TreeRegressor
+}
+
+// NewForestRegressor returns a forest with sensible defaults.
+func NewForestRegressor(trees, maxDepth int, seed int64) *ForestRegressor {
+	return &ForestRegressor{Config: ForestConfig{Trees: trees, MaxDepth: maxDepth, MinLeaf: 2, Seed: seed}}
+}
+
+// Fit trains each tree on a bootstrap resample.
+func (f *ForestRegressor) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: forest fit needs matching non-empty X, y")
+	}
+	if f.Config.Trees < 1 {
+		return fmt.Errorf("ml: forest needs >= 1 tree")
+	}
+	dim := len(X[0])
+	mf := f.Config.MaxFeatures
+	if mf == 0 {
+		mf = (dim + 2) / 3
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.Config.Seed))
+	f.trees = make([]*TreeRegressor, f.Config.Trees)
+	for t := range f.trees {
+		bi, by := bootstrapReg(X, y, rng)
+		tree := NewTreeRegressor(f.Config.MaxDepth)
+		tree.Config.MinLeaf = f.Config.MinLeaf
+		tree.Config.MaxFeatures = mf
+		tree.Config.Seed = rng.Int63()
+		if err := tree.Fit(bi, by); err != nil {
+			return err
+		}
+		f.trees[t] = tree
+	}
+	return nil
+}
+
+// Predict returns the ensemble mean.
+func (f *ForestRegressor) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// ForestClassifier is a bagged ensemble of classification trees.
+type ForestClassifier struct {
+	Config   ForestConfig
+	NClasses int
+	trees    []*TreeClassifier
+}
+
+// NewForestClassifier returns a forest classifier with defaults.
+func NewForestClassifier(trees, maxDepth int, seed int64) *ForestClassifier {
+	return &ForestClassifier{Config: ForestConfig{Trees: trees, MaxDepth: maxDepth, MinLeaf: 1, Seed: seed}}
+}
+
+// Fit trains the ensemble.
+func (f *ForestClassifier) Fit(X [][]float64, labels []int) error {
+	if len(X) == 0 || len(X) != len(labels) {
+		return fmt.Errorf("ml: forest fit needs matching non-empty X, labels")
+	}
+	if f.Config.Trees < 1 {
+		return fmt.Errorf("ml: forest needs >= 1 tree")
+	}
+	dim := len(X[0])
+	mf := f.Config.MaxFeatures
+	if mf == 0 {
+		mf = int(math.Sqrt(float64(dim)))
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	for _, l := range labels {
+		if l+1 > f.NClasses {
+			f.NClasses = l + 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.Config.Seed))
+	f.trees = make([]*TreeClassifier, f.Config.Trees)
+	for t := range f.trees {
+		bi, bl := bootstrapCls(X, labels, rng)
+		tree := NewTreeClassifier(f.Config.MaxDepth)
+		tree.Config.MinLeaf = f.Config.MinLeaf
+		tree.Config.MaxFeatures = mf
+		tree.Config.Seed = rng.Int63()
+		if err := tree.Fit(bi, bl); err != nil {
+			return err
+		}
+		f.trees[t] = tree
+	}
+	return nil
+}
+
+// Predict returns the majority vote across trees.
+func (f *ForestClassifier) Predict(x []float64) int {
+	votes := make([]int, f.NClasses)
+	for _, t := range f.trees {
+		l := t.Predict(x)
+		if l >= 0 && l < len(votes) {
+			votes[l]++
+		}
+	}
+	best, bestV := 0, -1
+	for l, v := range votes {
+		if v > bestV {
+			best, bestV = l, v
+		}
+	}
+	return best
+}
+
+func bootstrapReg(X [][]float64, y []float64, rng *rand.Rand) ([][]float64, []float64) {
+	n := len(X)
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		bx[i], by[i] = X[j], y[j]
+	}
+	return bx, by
+}
+
+func bootstrapCls(X [][]float64, labels []int, rng *rand.Rand) ([][]float64, []int) {
+	n := len(X)
+	bx := make([][]float64, n)
+	bl := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		bx[i], bl[i] = X[j], labels[j]
+	}
+	return bx, bl
+}
+
+// GBTRegressor is stage-wise gradient boosting with squared loss: each tree
+// fits the residual of the current ensemble, added with a shrinkage factor.
+type GBTRegressor struct {
+	Trees        int
+	MaxDepth     int
+	LearningRate float64
+	Seed         int64
+	base         float64
+	stages       []*TreeRegressor
+}
+
+// NewGBTRegressor returns a boosted ensemble with defaults.
+func NewGBTRegressor(trees, maxDepth int, lr float64, seed int64) *GBTRegressor {
+	return &GBTRegressor{Trees: trees, MaxDepth: maxDepth, LearningRate: lr, Seed: seed}
+}
+
+// Fit trains the boosted stages.
+func (g *GBTRegressor) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: gbt fit needs matching non-empty X, y")
+	}
+	if g.Trees < 1 || g.LearningRate <= 0 {
+		return fmt.Errorf("ml: gbt needs >= 1 tree and positive learning rate")
+	}
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(len(y))
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	g.stages = g.stages[:0]
+	for t := 0; t < g.Trees; t++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tree := NewTreeRegressor(g.MaxDepth)
+		tree.Config.MinLeaf = 2
+		tree.Config.Seed = rng.Int63()
+		if err := tree.Fit(X, resid); err != nil {
+			return err
+		}
+		g.stages = append(g.stages, tree)
+		for i := range pred {
+			pred[i] += g.LearningRate * tree.Predict(X[i])
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the boosted ensemble.
+func (g *GBTRegressor) Predict(x []float64) float64 {
+	s := g.base
+	for _, t := range g.stages {
+		s += g.LearningRate * t.Predict(x)
+	}
+	return s
+}

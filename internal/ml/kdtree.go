@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KDTree is a k-d tree over points in R^d for exact nearest-neighbour
+// queries — it replaces the brute-force scan in the kNN models, turning
+// per-query cost from O(n·d) into O(log n · d) on well-spread data.
+type KDTree struct {
+	points  [][]float64
+	payload []int // index of each point in the original dataset
+	nodes   []kdNode
+	root    int
+}
+
+type kdNode struct {
+	point       int // index into points
+	axis        int
+	left, right int // node indices, -1 = leaf edge
+}
+
+// NewKDTree builds a balanced tree by recursive median splits.
+func NewKDTree(points [][]float64) (*KDTree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("ml: kd-tree needs at least one point")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("ml: kd-tree point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	t := &KDTree{points: points}
+	t.payload = make([]int, len(points))
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+		t.payload[i] = i
+	}
+	t.root = t.build(idx, 0, d)
+	return t, nil
+}
+
+func (t *KDTree) build(idx []int, depth, dim int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % dim
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	node := kdNode{point: idx[mid], axis: axis}
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(append([]int(nil), idx[:mid]...), depth+1, dim)
+	right := t.build(append([]int(nil), idx[mid+1:]...), depth+1, dim)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// neighbour is one kNN query result.
+type neighbour struct {
+	index int     // original dataset index
+	dist  float64 // Euclidean distance
+}
+
+// KNearest returns the k nearest dataset indices and distances to q,
+// ordered by increasing distance (ties broken by index for determinism).
+func (t *KDTree) KNearest(q []float64, k int) ([]int, []float64) {
+	if k > len(t.points) {
+		k = len(t.points)
+	}
+	// Bounded best-k list kept sorted by (dist, index); k is small in every
+	// use here, so insertion is cheaper than heap bookkeeping and gives
+	// deterministic tie-breaks matching the brute-force reference.
+	best := make([]neighbour, 0, k)
+	worst := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].dist
+	}
+	push := func(n neighbour) {
+		pos := len(best)
+		for pos > 0 && (best[pos-1].dist > n.dist ||
+			(best[pos-1].dist == n.dist && best[pos-1].index > n.index)) {
+			pos--
+		}
+		if len(best) < k {
+			best = append(best, neighbour{})
+		} else if pos == len(best) {
+			return // not better than the current k-th
+		}
+		copy(best[pos+1:], best[pos:len(best)-1])
+		best[pos] = n
+	}
+	var walk func(node int)
+	walk = func(node int) {
+		if node < 0 {
+			return
+		}
+		nd := t.nodes[node]
+		p := t.points[nd.point]
+		push(neighbour{index: t.payload[nd.point], dist: math.Sqrt(sqDist(p, q))})
+		diff := q[nd.axis] - p[nd.axis]
+		near, far := nd.left, nd.right
+		if diff > 0 {
+			near, far = nd.right, nd.left
+		}
+		walk(near)
+		if math.Abs(diff) < worst() {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	idx := make([]int, len(best))
+	dist := make([]float64, len(best))
+	for i, n := range best {
+		idx[i] = n.index
+		dist[i] = n.dist
+	}
+	return idx, dist
+}

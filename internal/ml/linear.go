@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ridge is L2-regularized linear regression solved in closed form via the
+// normal equations (XᵀX + λI)w = Xᵀy with Gaussian elimination. Lambda = 0
+// recovers ordinary least squares (with the caveat of singular designs,
+// which the solver reports as an error).
+type Ridge struct {
+	Lambda    float64
+	Weights   []float64 // one per feature
+	Intercept float64
+}
+
+// NewRidge returns a ridge regressor with the given regularization.
+func NewRidge(lambda float64) *Ridge { return &Ridge{Lambda: lambda} }
+
+// Fit solves the normal equations.
+func (r *Ridge) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: ridge fit needs matching non-empty X, y (%d, %d)", len(X), len(y))
+	}
+	d := len(X[0])
+	// Augment with an intercept column (not regularized).
+	n := d + 1
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n+1) // last column is the RHS
+	}
+	row := make([]float64, n)
+	for k := range X {
+		if len(X[k]) != d {
+			return fmt.Errorf("ml: ragged design matrix at row %d", k)
+		}
+		copy(row, X[k])
+		row[d] = 1
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			A[i][n] += row[i] * y[k]
+		}
+	}
+	for i := 0; i < d; i++ { // intercept not regularized
+		A[i][i] += r.Lambda
+	}
+	w, err := solveLinear(A)
+	if err != nil {
+		return fmt.Errorf("ml: ridge: %w", err)
+	}
+	r.Weights = w[:d]
+	r.Intercept = w[d]
+	return nil
+}
+
+// Predict evaluates the linear model.
+func (r *Ridge) Predict(x []float64) float64 {
+	s := r.Intercept
+	for j, w := range r.Weights {
+		s += w * x[j]
+	}
+	return s
+}
+
+// solveLinear solves the augmented system A·w = b where A is n×(n+1) with b
+// in the last column, by Gaussian elimination with partial pivoting. A is
+// destroyed.
+func solveLinear(A [][]float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for rI := col + 1; rI < n; rI++ {
+			if math.Abs(A[rI][col]) > math.Abs(A[p][col]) {
+				p = rI
+			}
+		}
+		if math.Abs(A[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		A[col], A[p] = A[p], A[col]
+		// Eliminate.
+		for rI := col + 1; rI < n; rI++ {
+			f := A[rI][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				A[rI][c] -= f * A[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := A[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= A[i][j] * w[j]
+		}
+		w[i] = s / A[i][i]
+	}
+	return w, nil
+}
+
+// PolyFeatures expands x with all pairwise products and squares (degree-2
+// polynomial basis), a cheap non-linearity boost for linear surrogates.
+func PolyFeatures(x []float64) []float64 {
+	d := len(x)
+	out := make([]float64, 0, d+d*(d+1)/2)
+	out = append(out, x...)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// PolyExpand applies PolyFeatures row-wise.
+func PolyExpand(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = PolyFeatures(row)
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLPConfig controls multilayer-perceptron training.
+type MLPConfig struct {
+	Hidden    []int // hidden layer sizes
+	Epochs    int
+	BatchSize int
+	LR        float64 // Adam step size
+	L2        float64 // weight decay
+	Seed      int64
+}
+
+// DefaultMLPConfig returns a small, fast configuration.
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{Hidden: []int{32, 32}, Epochs: 200, BatchSize: 32, LR: 1e-3, Seed: 1}
+}
+
+// mlpCore implements the shared network with ReLU hidden layers and Adam.
+type mlpCore struct {
+	cfg     MLPConfig
+	sizes   []int // input, hidden..., output
+	w       [][]float64
+	b       [][]float64
+	mw, vw  [][]float64
+	mb, vb  [][]float64
+	step    int
+	scaler  *Scaler
+	classes int // >0 for classification
+	// History records the training loss per epoch (experiment F5).
+	History []float64
+}
+
+func newCore(cfg MLPConfig, in, out, classes int) *mlpCore {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 100
+	}
+	sizes := append([]int{in}, cfg.Hidden...)
+	sizes = append(sizes, out)
+	c := &mlpCore{cfg: cfg, sizes: sizes, classes: classes}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for l := 0; l+1 < len(sizes); l++ {
+		fanIn, fanOut := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2 / float64(fanIn)) // He init for ReLU
+		wl := make([]float64, fanIn*fanOut)
+		for i := range wl {
+			wl[i] = rng.NormFloat64() * scale
+		}
+		c.w = append(c.w, wl)
+		c.b = append(c.b, make([]float64, fanOut))
+		c.mw = append(c.mw, make([]float64, len(wl)))
+		c.vw = append(c.vw, make([]float64, len(wl)))
+		c.mb = append(c.mb, make([]float64, fanOut))
+		c.vb = append(c.vb, make([]float64, fanOut))
+	}
+	return c
+}
+
+// forward computes activations for one sample; acts[l] is the layer-l
+// activation (acts[0] = input).
+func (c *mlpCore) forward(x []float64, acts [][]float64) {
+	copy(acts[0], x)
+	for l := 0; l+1 < len(c.sizes); l++ {
+		in, out := c.sizes[l], c.sizes[l+1]
+		for j := 0; j < out; j++ {
+			s := c.b[l][j]
+			wrow := c.w[l][j*in : (j+1)*in]
+			av := acts[l]
+			for i := 0; i < in; i++ {
+				s += wrow[i] * av[i]
+			}
+			if l+2 < len(c.sizes) && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			acts[l+1][j] = s
+		}
+	}
+}
+
+// train runs minibatch Adam. target fills the output-layer error gradient
+// (dL/dz for the final pre-activation) for sample index i into grad.
+func (c *mlpCore) train(X [][]float64, fillGrad func(i int, out []float64, grad []float64), loss func(i int, out []float64) float64) {
+	n := len(X)
+	rng := rand.New(rand.NewSource(c.cfg.Seed + 7))
+	acts := c.newActs()
+	deltas := c.newActs()
+	gw := make([][]float64, len(c.w))
+	gb := make([][]float64, len(c.b))
+	for l := range c.w {
+		gw[l] = make([]float64, len(c.w[l]))
+		gb[l] = make([]float64, len(c.b[l]))
+	}
+	order := rng.Perm(n)
+	for epoch := 0; epoch < c.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		for start := 0; start < n; start += c.cfg.BatchSize {
+			end := start + c.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			for l := range gw {
+				for i := range gw[l] {
+					gw[l][i] = 0
+				}
+				for i := range gb[l] {
+					gb[l][i] = 0
+				}
+			}
+			for _, i := range order[start:end] {
+				c.forward(X[i], acts)
+				out := acts[len(acts)-1]
+				epochLoss += loss(i, out)
+				fillGrad(i, out, deltas[len(deltas)-1])
+				// Backprop.
+				for l := len(c.sizes) - 2; l >= 0; l-- {
+					in, outN := c.sizes[l], c.sizes[l+1]
+					for j := 0; j < outN; j++ {
+						d := deltas[l+1][j]
+						if d == 0 {
+							continue
+						}
+						wrow := c.w[l][j*in : (j+1)*in]
+						grow := gw[l][j*in : (j+1)*in]
+						av := acts[l]
+						for k := 0; k < in; k++ {
+							grow[k] += d * av[k]
+						}
+						gb[l][j] += d
+						if l > 0 {
+							dl := deltas[l]
+							for k := 0; k < in; k++ {
+								dl[k] += d * wrow[k]
+							}
+						}
+					}
+					if l > 0 {
+						// ReLU derivative on the hidden activation.
+						for k := 0; k < in; k++ {
+							if acts[l][k] <= 0 {
+								deltas[l][k] = 0
+							}
+						}
+					}
+				}
+				// Clear used deltas for next sample.
+				for l := 1; l < len(deltas); l++ {
+					if l < len(deltas)-1 {
+						for k := range deltas[l] {
+							deltas[l][k] = 0
+						}
+					}
+				}
+			}
+			c.adamStep(gw, gb, end-start)
+		}
+		c.History = append(c.History, epochLoss/float64(n))
+	}
+}
+
+func (c *mlpCore) newActs() [][]float64 {
+	acts := make([][]float64, len(c.sizes))
+	for l, s := range c.sizes {
+		acts[l] = make([]float64, s)
+	}
+	return acts
+}
+
+func (c *mlpCore) adamStep(gw, gb [][]float64, batch int) {
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	c.step++
+	bc1 := 1 - math.Pow(b1, float64(c.step))
+	bc2 := 1 - math.Pow(b2, float64(c.step))
+	inv := 1 / float64(batch)
+	for l := range c.w {
+		for i := range c.w[l] {
+			g := gw[l][i]*inv + c.cfg.L2*c.w[l][i]
+			c.mw[l][i] = b1*c.mw[l][i] + (1-b1)*g
+			c.vw[l][i] = b2*c.vw[l][i] + (1-b2)*g*g
+			c.w[l][i] -= c.cfg.LR * (c.mw[l][i] / bc1) / (math.Sqrt(c.vw[l][i]/bc2) + eps)
+		}
+		for i := range c.b[l] {
+			g := gb[l][i] * inv
+			c.mb[l][i] = b1*c.mb[l][i] + (1-b1)*g
+			c.vb[l][i] = b2*c.vb[l][i] + (1-b2)*g*g
+			c.b[l][i] -= c.cfg.LR * (c.mb[l][i] / bc1) / (math.Sqrt(c.vb[l][i]/bc2) + eps)
+		}
+	}
+}
+
+// MLPRegressor is a feed-forward network trained with MSE loss. Inputs are
+// standardized internally; targets are scaled to zero mean/unit variance
+// during training and unscaled at prediction.
+type MLPRegressor struct {
+	Config MLPConfig
+	core   *mlpCore
+	yMean  float64
+	yStd   float64
+}
+
+// NewMLPRegressor returns an MLP regressor with the given config.
+func NewMLPRegressor(cfg MLPConfig) *MLPRegressor { return &MLPRegressor{Config: cfg} }
+
+// Fit trains the network.
+func (m *MLPRegressor) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: mlp fit needs matching non-empty X, y")
+	}
+	m.core = newCore(m.Config, len(X[0]), 1, 0)
+	m.core.scaler = FitScaler(X)
+	Xs := m.core.scaler.TransformAll(X)
+	// Target scaling.
+	m.yMean, m.yStd = 0, 0
+	for _, v := range y {
+		m.yMean += v
+	}
+	m.yMean /= float64(len(y))
+	for _, v := range y {
+		d := v - m.yMean
+		m.yStd += d * d
+	}
+	m.yStd = math.Sqrt(m.yStd / float64(len(y)))
+	if m.yStd < 1e-12 {
+		m.yStd = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - m.yMean) / m.yStd
+	}
+	m.core.train(Xs,
+		func(i int, out, grad []float64) { grad[0] = out[0] - ys[i] },
+		func(i int, out []float64) float64 { d := out[0] - ys[i]; return d * d / 2 },
+	)
+	return nil
+}
+
+// Predict evaluates the network.
+func (m *MLPRegressor) Predict(x []float64) float64 {
+	acts := m.core.newActs()
+	m.core.forward(m.core.scaler.Transform(x), acts)
+	return acts[len(acts)-1][0]*m.yStd + m.yMean
+}
+
+// History returns the per-epoch training loss.
+func (m *MLPRegressor) History() []float64 { return m.core.History }
+
+// MLPClassifier is a feed-forward network with softmax cross-entropy loss.
+type MLPClassifier struct {
+	Config   MLPConfig
+	NClasses int
+	core     *mlpCore
+}
+
+// NewMLPClassifier returns an MLP classifier with the given config.
+func NewMLPClassifier(cfg MLPConfig) *MLPClassifier { return &MLPClassifier{Config: cfg} }
+
+// Fit trains the network.
+func (m *MLPClassifier) Fit(X [][]float64, labels []int) error {
+	if len(X) == 0 || len(X) != len(labels) {
+		return fmt.Errorf("ml: mlp fit needs matching non-empty X, labels")
+	}
+	nc := 0
+	for _, l := range labels {
+		if l < 0 {
+			return fmt.Errorf("ml: negative label %d", l)
+		}
+		if l+1 > nc {
+			nc = l + 1
+		}
+	}
+	m.NClasses = nc
+	m.core = newCore(m.Config, len(X[0]), nc, nc)
+	m.core.scaler = FitScaler(X)
+	Xs := m.core.scaler.TransformAll(X)
+	prob := make([]float64, nc)
+	m.core.train(Xs,
+		func(i int, out, grad []float64) {
+			softmax(out, prob)
+			for c := 0; c < nc; c++ {
+				grad[c] = prob[c]
+				if c == labels[i] {
+					grad[c] -= 1
+				}
+			}
+		},
+		func(i int, out []float64) float64 {
+			softmax(out, prob)
+			p := prob[labels[i]]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			return -math.Log(p)
+		},
+	)
+	return nil
+}
+
+// Predict returns the argmax class.
+func (m *MLPClassifier) Predict(x []float64) int {
+	acts := m.core.newActs()
+	m.core.forward(m.core.scaler.Transform(x), acts)
+	out := acts[len(acts)-1]
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range out {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// History returns the per-epoch training loss.
+func (m *MLPClassifier) History() []float64 { return m.core.History }
+
+func softmax(z, out []float64) {
+	mx := math.Inf(-1)
+	for _, v := range z {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for i, v := range z {
+		out[i] = math.Exp(v - mx)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}

@@ -1,0 +1,187 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA is a principal component analysis fitted by eigendecomposition of the
+// sample covariance (cyclic Jacobi, suitable for the modest feature
+// dimensionalities in this toolkit).
+type PCA struct {
+	Mean        []float64
+	Components  [][]float64 // k rows of length d, orthonormal, by decreasing eigenvalue
+	Eigenvalues []float64   // variances along the components
+}
+
+// FitPCA fits k principal components to X (k <= feature dimension).
+func FitPCA(X [][]float64, k int) (*PCA, error) {
+	if len(X) < 2 {
+		return nil, fmt.Errorf("ml: PCA needs >= 2 samples, got %d", len(X))
+	}
+	d := len(X[0])
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("ml: PCA components %d outside [1,%d]", k, d)
+	}
+	mean := make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: ragged PCA input")
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(X))
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range X {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(len(X) - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs := jacobiEigen(cov)
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	p := &PCA{Mean: mean}
+	for rank := 0; rank < k; rank++ {
+		i := order[rank]
+		comp := make([]float64, d)
+		for r := 0; r < d; r++ {
+			comp[r] = vecs[r][i] // eigenvectors are columns of vecs
+		}
+		p.Components = append(p.Components, comp)
+		p.Eigenvalues = append(p.Eigenvalues, math.Max(vals[i], 0))
+	}
+	return p, nil
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations.
+// Returns eigenvalues and the matrix of eigenvectors (columns). The input
+// is destroyed.
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-30 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < n; i++ {
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = c*aip - s*aiq
+					a[i][q] = s*aip + c*aiq
+				}
+				for i := 0; i < n; i++ {
+					api, aqi := a[p][i], a[q][i]
+					a[p][i] = c*api - s*aqi
+					a[q][i] = s*api + c*aqi
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = a[i][i]
+	}
+	return vals, v
+}
+
+// Transform projects x onto the principal subspace (k scores).
+func (p *PCA) Transform(x []float64) []float64 {
+	z := make([]float64, len(p.Components))
+	for k, comp := range p.Components {
+		s := 0.0
+		for j := range comp {
+			s += comp[j] * (x[j] - p.Mean[j])
+		}
+		z[k] = s
+	}
+	return z
+}
+
+// Reconstruct maps scores back to the feature space.
+func (p *PCA) Reconstruct(z []float64) []float64 {
+	d := len(p.Mean)
+	out := append([]float64(nil), p.Mean...)
+	for k, comp := range p.Components {
+		for j := 0; j < d; j++ {
+			out[j] += z[k] * comp[j]
+		}
+	}
+	return out
+}
+
+// ReconstructionError returns the Euclidean distance between x and its
+// projection onto the principal subspace — the residual energy outside the
+// modeled correlation structure.
+func (p *PCA) ReconstructionError(x []float64) float64 {
+	rec := p.Reconstruct(p.Transform(x))
+	s := 0.0
+	for j := range x {
+		d := x[j] - rec[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// ExplainedVariance returns the fraction of total variance captured by the
+// fitted components (requires the fit to have kept totals; computed from
+// eigenvalues relative to their sum plus residual — callers fitting k < d
+// components get the captured share of the retained spectrum only if all d
+// were requested; for the common screening use the absolute eigenvalues
+// matter, exposed directly).
+func (p *PCA) ExplainedVariance() []float64 {
+	total := 0.0
+	for _, v := range p.Eigenvalues {
+		total += v
+	}
+	out := make([]float64, len(p.Eigenvalues))
+	if total == 0 {
+		return out
+	}
+	for i, v := range p.Eigenvalues {
+		out[i] = v / total
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// anisotropic 2D cloud: variance 9 along (1,1)/√2, variance 0.01 across.
+func pcaCloud(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	for i := range X {
+		a := rng.NormFloat64() * 3
+		b := rng.NormFloat64() * 0.1
+		X[i] = []float64{
+			(a + b) / math.Sqrt2,
+			(a - b) / math.Sqrt2,
+		}
+	}
+	return X
+}
+
+func TestPCAFindsDominantDirection(t *testing.T) {
+	X := pcaCloud(2000, 1)
+	p, err := FitPCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component ≈ ±(1,1)/√2.
+	c := p.Components[0]
+	if math.Abs(math.Abs(c[0])-1/math.Sqrt2) > 0.02 || math.Abs(c[0]-c[1]) > 0.05 && math.Abs(c[0]+c[1]) > 2 {
+		t.Errorf("first component = %v", c)
+	}
+	if p.Eigenvalues[0] < 8 || p.Eigenvalues[0] > 10 {
+		t.Errorf("first eigenvalue = %f, want ~9", p.Eigenvalues[0])
+	}
+	if p.Eigenvalues[1] > 0.05 {
+		t.Errorf("second eigenvalue = %f, want ~0.01", p.Eigenvalues[1])
+	}
+	// Components orthonormal.
+	dot, n0, n1 := 0.0, 0.0, 0.0
+	for j := range c {
+		dot += p.Components[0][j] * p.Components[1][j]
+		n0 += p.Components[0][j] * p.Components[0][j]
+		n1 += p.Components[1][j] * p.Components[1][j]
+	}
+	if math.Abs(dot) > 1e-9 || math.Abs(n0-1) > 1e-9 || math.Abs(n1-1) > 1e-9 {
+		t.Errorf("components not orthonormal: dot %g norms %g %g", dot, n0, n1)
+	}
+}
+
+func TestPCAFullRankReconstructsExactly(t *testing.T) {
+	X := pcaCloud(200, 2)
+	p, err := FitPCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:20] {
+		if e := p.ReconstructionError(x); e > 1e-9 {
+			t.Fatalf("full-rank reconstruction error %g", e)
+		}
+	}
+}
+
+func TestPCAResidualDetectsOffSubspacePoints(t *testing.T) {
+	X := pcaCloud(500, 3)
+	p, err := FitPCA(X, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onAxis := []float64{5 / math.Sqrt2, 5 / math.Sqrt2}   // large but in-model
+	offAxis := []float64{1 / math.Sqrt2, -1 / math.Sqrt2} // small but off-model
+	if p.ReconstructionError(onAxis) > 0.2 {
+		t.Errorf("in-subspace point has residual %g", p.ReconstructionError(onAxis))
+	}
+	if p.ReconstructionError(offAxis) < 0.5 {
+		t.Errorf("off-subspace point has residual %g", p.ReconstructionError(offAxis))
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	if _, err := FitPCA([][]float64{{1, 2}}, 1); err == nil {
+		t.Error("single sample must fail")
+	}
+	if _, err := FitPCA(pcaCloud(10, 4), 3); err == nil {
+		t.Error("k > d must fail")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged input must fail")
+	}
+}
+
+func TestExplainedVariance(t *testing.T) {
+	p, err := FitPCA(pcaCloud(1000, 5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.ExplainedVariance()
+	if len(ev) != 2 || ev[0] < 0.95 {
+		t.Errorf("explained variance = %v", ev)
+	}
+	sum := ev[0] + ev[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("explained variance sums to %f", sum)
+	}
+}

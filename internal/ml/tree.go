@@ -1,0 +1,269 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART growth.
+type TreeConfig struct {
+	MaxDepth    int // 0 = unlimited
+	MinLeaf     int // minimum samples per leaf (default 1)
+	MaxFeatures int // features examined per split; 0 = all
+	Seed        int64
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	leaf      bool
+	value     float64 // regression mean / classification majority label
+}
+
+// TreeRegressor is a CART regression tree using variance reduction.
+type TreeRegressor struct {
+	Config TreeConfig
+	root   *treeNode
+}
+
+// NewTreeRegressor returns a regression tree with the given depth limit.
+func NewTreeRegressor(maxDepth int) *TreeRegressor {
+	return &TreeRegressor{Config: TreeConfig{MaxDepth: maxDepth, MinLeaf: 1}}
+}
+
+// Fit grows the tree.
+func (t *TreeRegressor) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: tree fit needs matching non-empty X, y")
+	}
+	if t.Config.MinLeaf < 1 {
+		t.Config.MinLeaf = 1
+	}
+	idx := seqIdx(len(X))
+	rng := rand.New(rand.NewSource(t.Config.Seed))
+	t.root = growReg(X, y, idx, t.Config, 0, rng)
+	return nil
+}
+
+// Predict descends the tree.
+func (t *TreeRegressor) Predict(x []float64) float64 { return descend(t.root, x) }
+
+// TreeClassifier is a CART classification tree using Gini impurity.
+type TreeClassifier struct {
+	Config   TreeConfig
+	NClasses int
+	root     *treeNode
+}
+
+// NewTreeClassifier returns a classification tree.
+func NewTreeClassifier(maxDepth int) *TreeClassifier {
+	return &TreeClassifier{Config: TreeConfig{MaxDepth: maxDepth, MinLeaf: 1}}
+}
+
+// Fit grows the tree. Labels must be in [0, max(labels)].
+func (t *TreeClassifier) Fit(X [][]float64, labels []int) error {
+	if len(X) == 0 || len(X) != len(labels) {
+		return fmt.Errorf("ml: tree fit needs matching non-empty X, labels")
+	}
+	if t.Config.MinLeaf < 1 {
+		t.Config.MinLeaf = 1
+	}
+	nc := 0
+	for _, l := range labels {
+		if l < 0 {
+			return fmt.Errorf("ml: negative label %d", l)
+		}
+		if l+1 > nc {
+			nc = l + 1
+		}
+	}
+	t.NClasses = nc
+	idx := seqIdx(len(X))
+	rng := rand.New(rand.NewSource(t.Config.Seed))
+	t.root = growCls(X, labels, idx, t.Config, nc, 0, rng)
+	return nil
+}
+
+// Predict descends the tree and returns the leaf's majority label.
+func (t *TreeClassifier) Predict(x []float64) int { return int(descend(t.root, x)) }
+
+func descend(n *treeNode, x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func seqIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// candidateFeatures returns the feature subset examined at one split.
+func candidateFeatures(dim int, cfg TreeConfig, rng *rand.Rand) []int {
+	if cfg.MaxFeatures <= 0 || cfg.MaxFeatures >= dim {
+		return seqIdx(dim)
+	}
+	return rng.Perm(dim)[:cfg.MaxFeatures]
+}
+
+func growReg(X [][]float64, y []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	leaf := &treeNode{leaf: true, value: mean}
+	if len(idx) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return leaf
+	}
+	bestFeat, bestThr, bestScore := -1, 0.0, 0.0
+	// Current SSE.
+	sse := 0.0
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	if sse == 0 {
+		return leaf
+	}
+	order := make([]int, len(idx))
+	for _, f := range candidateFeatures(len(X[0]), cfg, rng) {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Incremental left/right sums.
+		var lsum, lsq float64
+		rsum, rsq := 0.0, 0.0
+		for _, i := range order {
+			rsum += y[i]
+			rsq += y[i] * y[i]
+		}
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			lsum += y[i]
+			lsq += y[i] * y[i]
+			rsum -= y[i]
+			rsq -= y[i] * y[i]
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue // no valid threshold between equal values
+			}
+			nl, nr := k+1, len(order)-k-1
+			if nl < cfg.MinLeaf || nr < cfg.MinLeaf {
+				continue
+			}
+			lsse := lsq - lsum*lsum/float64(nl)
+			rsse := rsq - rsum*rsum/float64(nr)
+			gain := sse - lsse - rsse
+			if gain > bestScore {
+				bestScore = gain
+				bestFeat = f
+				bestThr = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return leaf
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat, threshold: bestThr,
+		left:  growReg(X, y, li, cfg, depth+1, rng),
+		right: growReg(X, y, ri, cfg, depth+1, rng),
+	}
+}
+
+func growCls(X [][]float64, labels []int, idx []int, cfg TreeConfig, nc, depth int, rng *rand.Rand) *treeNode {
+	counts := make([]int, nc)
+	for _, i := range idx {
+		counts[labels[i]]++
+	}
+	maj, majN := 0, -1
+	pure := false
+	for l, c := range counts {
+		if c > majN {
+			maj, majN = l, c
+		}
+	}
+	pure = majN == len(idx)
+	leaf := &treeNode{leaf: true, value: float64(maj)}
+	if pure || len(idx) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return leaf
+	}
+	gini := func(cnt []int, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		g := 1.0
+		for _, c := range cnt {
+			p := float64(c) / float64(n)
+			g -= p * p
+		}
+		return g
+	}
+	parentG := gini(counts, len(idx))
+	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
+	order := make([]int, len(idx))
+	lCnt := make([]int, nc)
+	rCnt := make([]int, nc)
+	for _, f := range candidateFeatures(len(X[0]), cfg, rng) {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		for c := range lCnt {
+			lCnt[c] = 0
+			rCnt[c] = counts[c]
+		}
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			lCnt[labels[i]]++
+			rCnt[labels[i]]--
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			nl, nr := k+1, len(order)-k-1
+			if nl < cfg.MinLeaf || nr < cfg.MinLeaf {
+				continue
+			}
+			w := float64(nl)/float64(len(idx))*gini(lCnt, nl) +
+				float64(nr)/float64(len(idx))*gini(rCnt, nr)
+			gain := parentG - w
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return leaf
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat, threshold: bestThr,
+		left:  growCls(X, labels, li, cfg, nc, depth+1, rng),
+		right: growCls(X, labels, ri, cfg, nc, depth+1, rng),
+	}
+}

@@ -1,0 +1,57 @@
+package outlier
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// PCAResidual screens by the reconstruction error outside the principal
+// subspace of the healthy population: defects that break the natural test
+// correlation stick out of the subspace even when every individual reading
+// is within its univariate limits. K is the retained component count
+// (0 = keep components covering 90% of variance).
+type PCAResidual struct {
+	K   int
+	pca *ml.PCA
+}
+
+// Fit learns the principal subspace of the reference lot.
+func (s *PCAResidual) Fit(ref [][]float64) error {
+	if len(ref) < 2 {
+		return fmt.Errorf("outlier: PCA screen needs >= 2 reference devices")
+	}
+	d := len(ref[0])
+	k := s.K
+	if k <= 0 {
+		// Auto-select: fit full rank, keep components to 90% variance.
+		full, err := ml.FitPCA(ref, d)
+		if err != nil {
+			return err
+		}
+		ev := full.ExplainedVariance()
+		cum := 0.0
+		k = 1
+		for i, v := range ev {
+			cum += v
+			if cum >= 0.9 {
+				k = i + 1
+				break
+			}
+		}
+	}
+	if k > d {
+		k = d
+	}
+	pca, err := ml.FitPCA(ref, k)
+	if err != nil {
+		return err
+	}
+	s.pca = pca
+	return nil
+}
+
+// Score returns the residual distance outside the healthy subspace.
+func (s *PCAResidual) Score(x []float64) float64 {
+	return s.pca.ReconstructionError(x)
+}

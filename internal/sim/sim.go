@@ -1,0 +1,173 @@
+// Package sim provides gate-level logic simulation over circuit netlists:
+// a compiled, levelized 64-way parallel-pattern simulator (the workhorse of
+// fault simulation) and a single-pattern event-driven simulator used for
+// baselines and incremental evaluation.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Simulator is a compiled parallel-pattern simulator bound to one netlist.
+// It pre-resolves the topological order and reuses its value buffer across
+// calls, so simulating many pattern blocks performs no allocation.
+type Simulator struct {
+	Net    *circuit.Netlist
+	order  []int
+	values []logic.Word // one word (64 patterns) per gate
+	piPos  map[int]int  // gate ID -> index in Net.PIs
+}
+
+// New compiles a simulator for the netlist. The netlist must validate.
+func New(n *circuit.Netlist) (*Simulator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &Simulator{
+		Net:    n,
+		order:  n.TopoOrder(),
+		values: make([]logic.Word, len(n.Gates)),
+		piPos:  n.InputIndex(),
+	}, nil
+}
+
+// Eval computes one gate's output word from its fanin words.
+func Eval(t circuit.GateType, in []logic.Word) logic.Word {
+	switch t {
+	case circuit.Buf, circuit.DFF:
+		return in[0]
+	case circuit.Not:
+		return ^in[0]
+	case circuit.And, circuit.Nand:
+		v := in[0]
+		for _, w := range in[1:] {
+			v &= w
+		}
+		if t == circuit.Nand {
+			v = ^v
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v |= w
+		}
+		if t == circuit.Nor {
+			v = ^v
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v ^= w
+		}
+		if t == circuit.Xnor {
+			v = ^v
+		}
+		return v
+	}
+	panic(fmt.Sprintf("sim: cannot evaluate gate type %v", t))
+}
+
+// Block simulates one 64-pattern block. piWords[i] holds the word for
+// Net.PIs[i]. After the call, Values reports every gate's word. The
+// returned slice aliases internal storage valid until the next call.
+func (s *Simulator) Block(piWords []logic.Word) []logic.Word {
+	if len(piWords) != len(s.Net.PIs) {
+		panic(fmt.Sprintf("sim: got %d PI words, want %d", len(piWords), len(s.Net.PIs)))
+	}
+	var faninBuf [8]logic.Word
+	for _, id := range s.order {
+		g := s.Net.Gates[id]
+		if g.Type == circuit.Input {
+			s.values[id] = piWords[s.piPos[id]]
+			continue
+		}
+		if g.Type == circuit.DFF {
+			// Full-scan: DFF output is a pseudo-PI.
+			s.values[id] = piWords[s.piPos[id]]
+			continue
+		}
+		in := faninBuf[:0]
+		for _, f := range g.Fanin {
+			in = append(in, s.values[f])
+		}
+		s.values[id] = Eval(g.Type, in)
+	}
+	return s.values
+}
+
+// Value returns gate id's word from the most recent Block call.
+func (s *Simulator) Value(id int) logic.Word { return s.values[id] }
+
+// Outputs copies the PO words from the most recent Block call into dst
+// (allocated when nil) and returns it.
+func (s *Simulator) Outputs(dst []logic.Word) []logic.Word {
+	if dst == nil {
+		dst = make([]logic.Word, len(s.Net.POs))
+	}
+	for i, po := range s.Net.POs {
+		dst[i] = s.values[po]
+	}
+	return dst
+}
+
+// Response holds PO values for a full pattern set, bit-sliced like
+// logic.PatternSet: Bits[po][word].
+type Response struct {
+	Outputs int
+	N       int
+	Bits    [][]logic.Word
+}
+
+// Get returns output o of pattern n.
+func (r *Response) Get(n, o int) bool {
+	w, b := n/logic.WordBits, uint(n%logic.WordBits)
+	return r.Bits[o][w]>>b&1 == 1
+}
+
+// Run simulates the whole pattern set and returns the PO response.
+func (s *Simulator) Run(p *logic.PatternSet) *Response {
+	if p.Inputs != len(s.Net.PIs) {
+		panic(fmt.Sprintf("sim: pattern set width %d != PIs %d", p.Inputs, len(s.Net.PIs)))
+	}
+	words := p.Words()
+	r := &Response{Outputs: len(s.Net.POs), N: p.N}
+	r.Bits = make([][]logic.Word, len(s.Net.POs))
+	backing := make([]logic.Word, len(s.Net.POs)*words)
+	for i := range r.Bits {
+		r.Bits[i], backing = backing[:words:words], backing[words:]
+	}
+	pi := make([]logic.Word, len(s.Net.PIs))
+	for w := 0; w < words; w++ {
+		for i := range pi {
+			pi[i] = p.Bits[i][w]
+		}
+		s.Block(pi)
+		mask := p.TailMask(w)
+		for o, po := range s.Net.POs {
+			r.Bits[o][w] = s.values[po] & mask
+		}
+	}
+	return r
+}
+
+// RunPattern simulates a single pattern given as bools and returns the PO
+// values. Convenience wrapper for tests and examples.
+func (s *Simulator) RunPattern(bits []bool) []bool {
+	pi := make([]logic.Word, len(s.Net.PIs))
+	for i, v := range bits {
+		if v {
+			pi[i] = 1
+		}
+	}
+	s.Block(pi)
+	out := make([]bool, len(s.Net.POs))
+	for i, po := range s.Net.POs {
+		out[i] = s.values[po]&1 == 1
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package spice
+
+// Structural cell features consumed by the ML characterization surrogates
+// (experiment T1): cheap topological descriptors that, together with the
+// electrical query point (slew, load, ΔVth), predict arc delay without a
+// transient simulation.
+
+// MaxSeriesDepth returns the deepest series transistor chain in the
+// network — the stacking-effect indicator.
+func (n *Network) MaxSeriesDepth() int {
+	if n == nil {
+		return 0
+	}
+	switch n.Kind {
+	case KindDevice:
+		return 1
+	case KindSeries:
+		d := 0
+		for _, c := range n.Children {
+			d += c.MaxSeriesDepth()
+		}
+		return d
+	default:
+		d := 0
+		for _, c := range n.Children {
+			if cd := c.MaxSeriesDepth(); cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+}
+
+// TotalWidth sums all device widths — the drive-strength proxy.
+func (n *Network) TotalWidth() float64 {
+	if n == nil {
+		return 0
+	}
+	if n.Kind == KindDevice {
+		return n.Width
+	}
+	w := 0.0
+	for _, c := range n.Children {
+		w += c.TotalWidth()
+	}
+	return w
+}
+
+// StructuralFeatures returns the per-(cell, pin) topology descriptor used
+// as ML input: [pinCap(F), transistors, numInputs, numStages,
+// outPullDownWidth, outPullUpWidth, outPullDownDepth, outPullUpDepth].
+func (c *Cell) StructuralFeatures(pin int) []float64 {
+	out := c.Stages[len(c.Stages)-1]
+	return []float64{
+		c.PinCap(pin),
+		float64(c.Transistors()),
+		float64(c.NumInputs),
+		float64(len(c.Stages)),
+		out.PullDown.TotalWidth(),
+		out.PullUp.TotalWidth(),
+		float64(out.PullDown.MaxSeriesDepth()),
+		float64(out.PullUp.MaxSeriesDepth()),
+	}
+}
+
+// NumStructuralFeatures is the length of StructuralFeatures vectors.
+const NumStructuralFeatures = 8

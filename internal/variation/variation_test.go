@@ -1,0 +1,139 @@
+package variation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSamplerDeterministic(t *testing.T) {
+	a := NewSampler(Default(), 42)
+	b := NewSampler(Default(), 42)
+	for i := 0; i < 100; i++ {
+		if a.Instance(1) != b.Instance(1) {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	c := NewSampler(Default(), 43)
+	same := true
+	aa := NewSampler(Default(), 42)
+	for i := 0; i < 10; i++ {
+		if aa.Instance(1) != c.Instance(1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestPelgromScaling(t *testing.T) {
+	p := Default()
+	s := NewSampler(p, 1)
+	const n = 200000
+	var ss1, ss4 float64
+	for i := 0; i < n; i++ {
+		v := s.Instance(1)
+		ss1 += v * v
+	}
+	for i := 0; i < n; i++ {
+		v := s.Instance(4)
+		ss4 += v * v
+	}
+	sd1 := math.Sqrt(ss1 / n)
+	sd4 := math.Sqrt(ss4 / n)
+	if math.Abs(sd1-p.SigmaVth0) > 0.002 {
+		t.Errorf("unit width sigma = %f, want %f", sd1, p.SigmaVth0)
+	}
+	if r := sd1 / sd4; math.Abs(r-2) > 0.1 {
+		t.Errorf("width-4 sigma ratio = %f, want 2 (1/sqrt(w))", r)
+	}
+}
+
+func TestInstanceZeroWidthSafe(t *testing.T) {
+	s := NewSampler(Default(), 1)
+	v := s.Instance(0)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Error("zero width must not blow up")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %f", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("median = %f", s.P50)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty sample must yield zero stats")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); q != 5 {
+		t.Errorf("q50 = %f", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Errorf("q0 = %f", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Errorf("q1 = %f", q)
+	}
+	if q := Quantile([]float64{7}, 0.9); q != 7 {
+		t.Errorf("single sample q = %f", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty quantile must panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.9, 1.0}
+	edges, counts := Histogram(xs, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("histogram shape %d edges %d counts", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram loses samples: %d", total)
+	}
+	if e, c := Histogram(nil, 4); e != nil || c != nil {
+		t.Error("empty input must return nil")
+	}
+	// Degenerate constant sample.
+	_, c2 := Histogram([]float64{3, 3, 3}, 3)
+	total = 0
+	for _, c := range c2 {
+		total += c
+	}
+	if total != 3 {
+		t.Error("constant sample mishandled")
+	}
+}
+
+func TestGlobalOffsetScale(t *testing.T) {
+	p := Default()
+	s := NewSampler(p, 9)
+	const n = 100000
+	var ss float64
+	for i := 0; i < n; i++ {
+		v := s.Global()
+		ss += v * v
+	}
+	sd := math.Sqrt(ss / n)
+	if math.Abs(sd-p.GlobalSig) > 0.002 {
+		t.Errorf("global sigma = %f, want %f", sd, p.GlobalSig)
+	}
+}

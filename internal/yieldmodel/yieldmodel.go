@@ -1,0 +1,162 @@
+// Package yieldmodel implements classical die-yield statistics: the
+// Poisson, Murphy and negative-binomial (clustered) yield models, plus
+// estimation of the defect density and cluster parameter from observed
+// wafer maps. These models link the wafer-level defect data of package
+// wafer to the lot-level economics that adaptive test trades against
+// (escapes vs yield loss).
+package yieldmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wafer"
+)
+
+// Model selects the yield formula.
+type Model int
+
+// Yield models.
+const (
+	// Poisson assumes independent defects: Y = exp(-A·D0).
+	Poisson Model = iota
+	// Murphy integrates a triangular defect-density distribution:
+	// Y = ((1 - exp(-A·D0)) / (A·D0))².
+	Murphy
+	// NegBinomial models defect clustering with parameter alpha:
+	// Y = (1 + A·D0/alpha)^(-alpha). alpha→∞ recovers Poisson.
+	NegBinomial
+)
+
+func (m Model) String() string {
+	switch m {
+	case Poisson:
+		return "poisson"
+	case Murphy:
+		return "murphy"
+	case NegBinomial:
+		return "neg-binomial"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Yield returns the predicted die yield for defect density d0 (defects per
+// die area unit), die area a, and — for NegBinomial — cluster parameter
+// alpha (ignored otherwise).
+func Yield(m Model, a, d0, alpha float64) (float64, error) {
+	if a <= 0 || d0 < 0 {
+		return 0, fmt.Errorf("yieldmodel: invalid area %g / density %g", a, d0)
+	}
+	ad := a * d0
+	switch m {
+	case Poisson:
+		return math.Exp(-ad), nil
+	case Murphy:
+		if ad == 0 {
+			return 1, nil
+		}
+		f := (1 - math.Exp(-ad)) / ad
+		return f * f, nil
+	case NegBinomial:
+		if alpha <= 0 {
+			return 0, fmt.Errorf("yieldmodel: cluster parameter alpha must be positive, got %g", alpha)
+		}
+		return math.Pow(1+ad/alpha, -alpha), nil
+	}
+	return 0, fmt.Errorf("yieldmodel: unknown model %v", m)
+}
+
+// Stats summarizes defect statistics observed on a set of wafer maps.
+type Stats struct {
+	Wafers     int
+	DiesPerMap float64 // mean on-wafer dies
+	MeanFails  float64 // mean failing dies per wafer
+	VarFails   float64 // variance of failing dies per wafer
+	Yield      float64 // observed good-die fraction
+	// Alpha is the method-of-moments cluster estimate from the fail-count
+	// dispersion: alpha = mean² / (var - mean). +Inf (reported as 0 with
+	// Clustered=false) when the counts are underdispersed (no clustering).
+	Alpha     float64
+	Clustered bool
+}
+
+// Estimate computes defect statistics over wafer maps. It needs at least
+// two maps for the variance.
+func Estimate(maps []*wafer.Map) (Stats, error) {
+	if len(maps) < 2 {
+		return Stats{}, fmt.Errorf("yieldmodel: need >= 2 maps, got %d", len(maps))
+	}
+	var s Stats
+	s.Wafers = len(maps)
+	fails := make([]float64, len(maps))
+	var totDies, totFails float64
+	for i, m := range maps {
+		dies, f := 0.0, 0.0
+		for _, v := range m.Cells {
+			if v == wafer.OffDie {
+				continue
+			}
+			dies++
+			if v == wafer.Fail {
+				f++
+			}
+		}
+		fails[i] = f
+		totDies += dies
+		totFails += f
+	}
+	s.DiesPerMap = totDies / float64(len(maps))
+	s.MeanFails = totFails / float64(len(maps))
+	for _, f := range fails {
+		d := f - s.MeanFails
+		s.VarFails += d * d
+	}
+	s.VarFails /= float64(len(maps) - 1)
+	if totDies > 0 {
+		s.Yield = 1 - totFails/totDies
+	}
+	if over := s.VarFails - s.MeanFails; over > 1e-9 && s.MeanFails > 0 {
+		s.Alpha = s.MeanFails * s.MeanFails / over
+		s.Clustered = true
+	}
+	return s, nil
+}
+
+// FitD0 inverts the chosen yield model for the defect density that explains
+// an observed yield at unit die area.
+func FitD0(m Model, observedYield, alpha float64) (float64, error) {
+	if observedYield <= 0 || observedYield > 1 {
+		return 0, fmt.Errorf("yieldmodel: observed yield %g outside (0,1]", observedYield)
+	}
+	switch m {
+	case Poisson:
+		return -math.Log(observedYield), nil
+	case NegBinomial:
+		if alpha <= 0 {
+			return 0, fmt.Errorf("yieldmodel: alpha must be positive")
+		}
+		// Y = (1 + D0/alpha)^-alpha  =>  D0 = alpha (Y^(-1/alpha) - 1)
+		return alpha * (math.Pow(observedYield, -1/alpha) - 1), nil
+	case Murphy:
+		// Numerically invert the monotone Murphy curve by bisection.
+		lo, hi := 0.0, 1.0
+		for {
+			y, _ := Yield(Murphy, 1, hi, 0)
+			if y < observedYield || hi > 1e6 {
+				break
+			}
+			hi *= 2
+		}
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			y, _ := Yield(Murphy, 1, mid, 0)
+			if y > observedYield {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2, nil
+	}
+	return 0, fmt.Errorf("yieldmodel: unknown model %v", m)
+}

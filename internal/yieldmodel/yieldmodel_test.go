@@ -1,0 +1,140 @@
+package yieldmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wafer"
+)
+
+func TestYieldKnownValues(t *testing.T) {
+	// Zero defects: perfect yield under every model.
+	for _, m := range []Model{Poisson, Murphy, NegBinomial} {
+		y, err := Yield(m, 1, 0, 2)
+		if err != nil || math.Abs(y-1) > 1e-12 {
+			t.Errorf("%v at D0=0: %g, %v", m, y, err)
+		}
+	}
+	// Poisson at A·D0 = 1: e^-1.
+	y, _ := Yield(Poisson, 1, 1, 0)
+	if math.Abs(y-math.Exp(-1)) > 1e-12 {
+		t.Errorf("poisson = %g", y)
+	}
+	// Murphy at A·D0 = 1: ((1-e^-1)/1)^2 ≈ 0.3996.
+	y, _ = Yield(Murphy, 1, 1, 0)
+	if math.Abs(y-0.39958) > 1e-4 {
+		t.Errorf("murphy = %g", y)
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// For the same A·D0, clustering helps yield: NB(small alpha) > Poisson;
+	// Murphy lies between Poisson and NB for moderate clustering.
+	for _, ad := range []float64{0.5, 1, 2} {
+		p, _ := Yield(Poisson, 1, ad, 0)
+		nb, _ := Yield(NegBinomial, 1, ad, 0.5)
+		mu, _ := Yield(Murphy, 1, ad, 0)
+		if !(nb > mu && mu > p) {
+			t.Errorf("A·D0=%g: ordering nb %g > murphy %g > poisson %g violated", ad, nb, mu, p)
+		}
+	}
+}
+
+func TestNegBinomialApproachesPoisson(t *testing.T) {
+	p, _ := Yield(Poisson, 1, 1.3, 0)
+	nb, _ := Yield(NegBinomial, 1, 1.3, 1e7)
+	if math.Abs(p-nb) > 1e-4 {
+		t.Errorf("NB(alpha→inf) %g != poisson %g", nb, p)
+	}
+}
+
+func TestYieldValidation(t *testing.T) {
+	if _, err := Yield(Poisson, 0, 1, 0); err == nil {
+		t.Error("zero area must fail")
+	}
+	if _, err := Yield(NegBinomial, 1, 1, 0); err == nil {
+		t.Error("zero alpha must fail")
+	}
+}
+
+func TestFitD0RoundTrip(t *testing.T) {
+	for _, m := range []Model{Poisson, Murphy, NegBinomial} {
+		for _, d0 := range []float64{0.1, 0.5, 2} {
+			y, err := Yield(m, 1, d0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := FitD0(m, y, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-d0) > 1e-6*(1+d0) {
+				t.Errorf("%v: fit %g for true %g", m, back, d0)
+			}
+		}
+	}
+	if _, err := FitD0(Poisson, 0, 0); err == nil {
+		t.Error("zero yield must fail")
+	}
+}
+
+func TestEstimateFromCleanMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := wafer.DefaultConfig()
+	cfg.Size = 32
+	var maps []*wafer.Map
+	for i := 0; i < 30; i++ {
+		maps = append(maps, wafer.Generate(wafer.None, cfg, rng))
+	}
+	s, err := Estimate(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Wafers != 30 || s.DiesPerMap < 500 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Background noise is Bernoulli per die: fail counts ~ Binomial,
+	// essentially unclustered.
+	if s.Yield < 0.95 {
+		t.Errorf("None-class yield = %f", s.Yield)
+	}
+}
+
+func TestEstimateDetectsClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := wafer.DefaultConfig()
+	cfg.Size = 32
+	// Mix of clean wafers and heavily patterned ones: fail counts are
+	// overdispersed, which the moments estimator must flag as clustered.
+	var maps []*wafer.Map
+	for i := 0; i < 20; i++ {
+		class := wafer.None
+		if i%4 == 0 {
+			class = wafer.Center
+		}
+		maps = append(maps, wafer.Generate(class, cfg, rng))
+	}
+	s, err := Estimate(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Clustered {
+		t.Fatal("mixed lot must be flagged clustered")
+	}
+	if s.Alpha <= 0 || s.Alpha > 10 {
+		t.Errorf("alpha = %f, expected strong clustering (small alpha)", s.Alpha)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(nil); err == nil {
+		t.Error("empty estimate must fail")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Poisson.String() != "poisson" || NegBinomial.String() != "neg-binomial" {
+		t.Error("model names wrong")
+	}
+}
