@@ -6,10 +6,14 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/liberty"
+	"repro/internal/spice"
 )
 
 func benchCfg() experiments.Config {
@@ -210,6 +214,31 @@ func BenchmarkF6BIST(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.Points[len(res.Points)-1].Coverage*100, "final-coverage-%")
+	}
+}
+
+// BenchmarkParallelCharacterize pits the serial characterization path
+// against the worker pool on the same cell set and grid. The sub-benchmark
+// ratio is the library-build speedup; results are bit-identical across the
+// variants (see liberty's determinism test).
+func BenchmarkParallelCharacterize(b *testing.B) {
+	cells := liberty.AllCells()
+	p := spice.Default(300)
+	grid := liberty.CoarseGrid()
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lib, err := liberty.CharacterizeWorkers("bench", cells, p, grid, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(lib.SpiceRuns), "spice-runs")
+			}
+		})
 	}
 }
 

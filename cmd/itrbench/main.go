@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,16 +21,18 @@ import (
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "run every experiment")
-		exp   = flag.String("exp", "", "experiment id (T1..T7, F1..F5)")
-		quick = flag.Bool("quick", false, "reduced workloads")
-		seed  = flag.Int64("seed", 1, "random seed")
+		all     = flag.Bool("all", false, "run every experiment")
+		exp     = flag.String("exp", "", "experiment id (T1..T7, F1..F5)")
+		quick   = flag.Bool("quick", false, "reduced workloads")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel workers (results are identical for any count)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.Quick = *quick
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	start := time.Now()
 	switch {
@@ -46,7 +49,7 @@ func main() {
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] [-quick] [-seed N]\n")
+		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] [-quick] [-seed N] [-workers N]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.Names(), " "))
 		os.Exit(2)
 	}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/aging"
 	"repro/internal/circuit"
@@ -31,6 +32,7 @@ func main() {
 		duty      = flag.Float64("duty", 0.5, "workload duty factor (with -years)")
 		coarse    = flag.Bool("coarse", false, "coarse characterization grid (faster)")
 		path      = flag.Bool("path", false, "print the critical path")
+		workers   = flag.Int("workers", runtime.NumCPU(), "characterization workers (results are identical for any count)")
 	)
 	flag.Parse()
 
@@ -44,8 +46,8 @@ func main() {
 	if *coarse {
 		grid = liberty.CoarseGrid()
 	}
-	fmt.Printf("characterizing library at %g K ...\n", *temp)
-	lib, err := liberty.Characterize("lib", liberty.AllCells(), spice.Default(*temp), grid)
+	fmt.Printf("characterizing library at %g K (%d workers) ...\n", *temp, *workers)
+	lib, err := liberty.CharacterizeWorkers("lib", liberty.AllCells(), spice.Default(*temp), grid, *workers)
 	if err != nil {
 		fatal(err)
 	}

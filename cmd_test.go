@@ -3,11 +3,18 @@
 package repro_test
 
 import (
+	"flag"
+	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// update regenerates the golden files under testdata/golden/ instead of
+// comparing against them: go test -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden/")
 
 func runTool(t *testing.T, args ...string) string {
 	t.Helper()
@@ -85,4 +92,62 @@ func TestItrwaferShow(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// normalizeGolden strips the parts of harness output that legitimately vary
+// between runs (wall-clock timings); everything else must be byte-stable.
+func normalizeGolden(out string) string {
+	lines := strings.Split(out, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "total runtime:") {
+			l = "total runtime: <elapsed>"
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestItrbenchGoldenT2 pins the exact harness output for a deterministic
+// experiment: itrbench -exp T2 -quick -seed 1 must reproduce the captured
+// report byte for byte (timings normalized). Regenerate with -update.
+func TestItrbenchGoldenT2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := normalizeGolden(runTool(t, "./cmd/itrbench", "-exp", "T2", "-quick", "-seed", "1"))
+	path := filepath.Join("testdata", "golden", "itrbench_T2_quick_seed1.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFile(path, out); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+	}
+	want := string(wantBytes)
+	if out == want {
+		return
+	}
+	// Report the first diverging line, not a wall of text.
+	gotLines, wantLines := strings.Split(out, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "<eof>", "<eof>"
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("golden mismatch at line %d:\n got: %s\nwant: %s\n(regenerate with -update if the change is intended)", i+1, g, w)
+		}
+	}
+	t.Fatal(fmt.Sprintf("output differs from golden file %s in whitespace only", path))
 }

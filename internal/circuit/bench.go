@@ -69,6 +69,9 @@ func ParseBench(r io.Reader, name string) (*Netlist, error) {
 			}
 			lhs := strings.TrimSpace(line[:eq])
 			rhs := strings.TrimSpace(line[eq+1:])
+			if !validName(lhs) {
+				return nil, fmt.Errorf("bench line %d: invalid signal name %q", lineNo, lhs)
+			}
 			open := strings.IndexByte(rhs, '(')
 			close := strings.LastIndexByte(rhs, ')')
 			if open < 0 || close < open {
@@ -84,6 +87,9 @@ func ParseBench(r io.Reader, name string) (*Netlist, error) {
 				f = strings.TrimSpace(f)
 				if f == "" {
 					return nil, fmt.Errorf("bench line %d: empty fanin in %q", lineNo, rhs)
+				}
+				if !validName(f) {
+					return nil, fmt.Errorf("bench line %d: invalid signal name %q", lineNo, f)
 				}
 				fanin = append(fanin, f)
 			}
@@ -167,7 +173,22 @@ func parenArg(line string) (string, error) {
 	if arg == "" {
 		return "", fmt.Errorf("empty name in %q", line)
 	}
+	if !validName(arg) {
+		return "", fmt.Errorf("invalid signal name %q", arg)
+	}
 	return arg, nil
+}
+
+// validName reports whether s can serve as a .bench signal name. Names
+// containing the format's syntax characters or whitespace would serialize
+// ambiguously (WriteBench joins fanins with commas inside parentheses), so
+// the parser rejects them up front — this is what makes parse→write→parse
+// a lossless round trip on every accepted netlist.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	return !strings.ContainsAny(s, "#(),=\" \t\r\n\v\f")
 }
 
 // ParseBenchString parses a .bench netlist from a string.
@@ -182,7 +203,11 @@ func (n *Netlist) WriteBench(w io.Writer) error {
 	fmt.Fprintf(bw, "# %s\n", n.Name)
 	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(n.PIs), len(n.POs), n.NumLogicGates())
 	for _, id := range n.PIs {
-		fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[id].Name)
+		// DFF outputs are pseudo-PIs; they are declared by their DFF line,
+		// not an INPUT line, or the file would re-parse with a duplicate.
+		if n.Gates[id].Type == Input {
+			fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[id].Name)
+		}
 	}
 	outs := make([]string, 0, len(n.POs))
 	for _, id := range n.POs {

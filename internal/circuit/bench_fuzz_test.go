@@ -1,0 +1,48 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseBench feeds arbitrary text to the .bench parser. Contract:
+// never panic; and any input the parser accepts must survive a
+// parse → write → parse round trip with its structure intact (the property
+// the golden corpus and every on-disk netlist rely on).
+func FuzzParseBench(f *testing.F) {
+	f.Add(C17)
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("# only a comment\nINPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b) # trailing comment\n")
+	f.Add("INPUT (a)\nOUTPUT (y)\ny = BUF(a)")
+	f.Add("y = AND(a\nINPUT()\nOUTPUT\n=\n(((((")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseBenchString(src, "fuzz")
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := n.WriteBench(&buf); err != nil {
+			t.Fatalf("WriteBench failed on accepted netlist: %v\ninput: %q", err, src)
+		}
+		n2, err := ParseBenchString(buf.String(), "fuzz")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nserialized:\n%s\ninput: %q", err, buf.String(), src)
+		}
+		if len(n2.PIs) != len(n.PIs) || len(n2.POs) != len(n.POs) ||
+			n2.NumLogicGates() != n.NumLogicGates() || n2.Depth() != n.Depth() {
+			t.Fatalf("round trip changed structure: %d/%d/%d/%d -> %d/%d/%d/%d\ninput: %q",
+				len(n.PIs), len(n.POs), n.NumLogicGates(), n.Depth(),
+				len(n2.PIs), len(n2.POs), n2.NumLogicGates(), n2.Depth(), src)
+		}
+		// A second serialization must be byte-identical (stable output).
+		var buf2 bytes.Buffer
+		if err := n2.WriteBench(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := buf2.String(), buf.String(); got != want {
+			t.Fatalf("serialization not stable:\nfirst:\n%s\nsecond:\n%s", want, got)
+		}
+	})
+}

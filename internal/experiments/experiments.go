@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/liberty"
+	"repro/internal/parallel"
 	"repro/internal/spice"
 )
 
@@ -23,6 +25,11 @@ type Config struct {
 	Quick bool
 	Seed  int64
 	W     io.Writer
+	// Workers bounds the fan-out of parallel sections (library
+	// characterization, Monte Carlo sweeps, RunAll). <= 0 selects
+	// GOMAXPROCS. Results are bit-identical for any value: every
+	// randomized work item draws from a seed-split RNG stream.
+	Workers int
 }
 
 // Default returns the full-scale configuration printing to stdout.
@@ -44,41 +51,88 @@ func (c Config) table() *tabwriter.Writer {
 }
 
 // Shared characterized libraries are expensive; build them once per corner.
-var (
-	libMu    sync.Mutex
-	libCache = map[string]*liberty.Library{}
-)
+// The cache is singleflight-style: concurrent experiments asking for the
+// same corner block only on that corner's sync.Once — they never serialize
+// on a global lock while a characterization is in flight, and distinct
+// corners characterize concurrently.
+var libCache sync.Map // corner key → *libEntry
+
+type libEntry struct {
+	once sync.Once
+	lib  *liberty.Library
+	err  error
+}
 
 // library returns a characterized library at the given temperature and
 // aging shift, cached across experiments. Quick mode uses the coarse grid.
-func library(quick bool, tempK, dVth float64) (*liberty.Library, error) {
-	key := fmt.Sprintf("%v-%g-%g", quick, tempK, dVth)
-	libMu.Lock()
-	defer libMu.Unlock()
-	if l, ok := libCache[key]; ok {
-		return l, nil
-	}
-	p := spice.Default(tempK)
-	p.DVthN += dVth
-	p.DVthP += dVth
-	grid := liberty.DefaultGrid()
-	if quick {
-		grid = liberty.CoarseGrid()
-	}
-	l, err := liberty.Characterize(key, liberty.AllCells(), p, grid)
-	if err != nil {
-		return nil, err
-	}
-	libCache[key] = l
-	return l, nil
+// The first caller for a corner characterizes it (with its Workers setting;
+// the result is worker-count independent) and all others share the result.
+func library(cfg Config, tempK, dVth float64) (*liberty.Library, error) {
+	key := fmt.Sprintf("%v-%g-%g", cfg.Quick, tempK, dVth)
+	e, _ := libCache.LoadOrStore(key, &libEntry{})
+	entry := e.(*libEntry)
+	entry.once.Do(func() {
+		p := spice.Default(tempK)
+		p.DVthN += dVth
+		p.DVthP += dVth
+		grid := liberty.DefaultGrid()
+		if cfg.Quick {
+			grid = liberty.CoarseGrid()
+		}
+		entry.lib, entry.err = liberty.CharacterizeWorkers(key, liberty.AllCells(), p, grid, cfg.Workers)
+	})
+	return entry.lib, entry.err
 }
 
-// RunAll executes every experiment in order. It stops at the first error.
+type step struct {
+	name string
+	run  func(Config) error
+}
+
+// RunAll executes every experiment, fanning them out across cfg.Workers
+// goroutines. Each experiment writes to a private buffer; buffers are
+// emitted to cfg.W in experiment-index order as soon as the contiguous
+// prefix completes, so the combined report reads exactly like the serial
+// run. On error the first failing experiment (by index, among those that
+// ran) is reported and unstarted experiments are skipped.
 func RunAll(cfg Config) error {
-	steps := []struct {
-		name string
-		run  func(Config) error
-	}{
+	return runOrdered(cfg, allSteps())
+}
+
+// runOrdered is the RunAll engine: parallel execution, serial-order output.
+func runOrdered(cfg Config, steps []step) error {
+	out := cfg.out()
+	bufs := make([]bytes.Buffer, len(steps))
+	var (
+		mu   sync.Mutex
+		next int
+		done = make([]bool, len(steps))
+	)
+	flush := func() { // called with mu held
+		for next < len(steps) && done[next] {
+			io.Copy(out, &bufs[next]) //nolint:errcheck — best-effort report streaming
+			next++
+		}
+	}
+	err := parallel.For(cfg.Workers, len(steps), func(i int) error {
+		sub := cfg
+		sub.W = &bufs[i]
+		fmt.Fprintf(&bufs[i], "\n================ %s ================\n", steps[i].name)
+		err := steps[i].run(sub)
+		mu.Lock()
+		done[i] = true
+		flush()
+		mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", steps[i].name, err)
+		}
+		return nil
+	})
+	return err
+}
+
+func allSteps() []step {
+	return []step{
 		{"T1 ML cell characterization", func(c Config) error { _, err := RunT1(c); return err }},
 		{"T2 aging degradation model", func(c Config) error { _, err := RunT2(c); return err }},
 		{"T3 wafer-map classification", func(c Config) error { _, err := RunT3(c); return err }},
@@ -96,13 +150,6 @@ func RunAll(cfg Config) error {
 		{"T10 temperature corners (extension)", func(c Config) error { _, err := RunT10(c); return err }},
 		{"F6 logic BIST (extension)", func(c Config) error { _, err := RunF6(c); return err }},
 	}
-	for _, s := range steps {
-		cfg.printf("\n================ %s ================\n", s.name)
-		if err := s.run(cfg); err != nil {
-			return fmt.Errorf("experiments: %s: %w", s.name, err)
-		}
-	}
-	return nil
 }
 
 // Names lists the experiment identifiers accepted by Run.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aging"
 	"repro/internal/circuit"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/sta"
 	"repro/internal/variation"
 )
@@ -25,13 +27,17 @@ type F4Result struct {
 // with an ML surrogate that predicts per-sample delay from cheap sample
 // statistics. Shape: an approximately normal distribution centered near
 // the nominal delay, with the surrogate reproducing it at a large speedup.
+//
+// The sweep fans out over cfg.Workers goroutines. Every sample draws from
+// its own RNG stream (variation.NewSamplerAt), so the distribution is
+// bit-identical for any worker count.
 func RunF4(cfg Config) (*F4Result, error) {
-	lib, err := library(cfg.Quick, 300, 0)
+	lib, err := library(cfg, 300, 0)
 	if err != nil {
 		return nil, err
 	}
 	c := circuit.RippleAdder(16)
-	samples := 400
+	samples := 10000
 	if cfg.Quick {
 		c = circuit.RippleAdder(8)
 		samples = 100
@@ -51,12 +57,28 @@ func RunF4(cfg Config) (*F4Result, error) {
 	}
 
 	model := aging.Default() // reuse the alpha-power ΔVth→delay mapping
-	sampler := variation.NewSampler(variation.Default(), cfg.Seed)
+	vp := variation.Default()
+	workers := parallel.Workers(cfg.Workers)
+	// One STA analyzer and one derate scratch vector per worker: Run is
+	// stateful, so concurrent samples must not share an analyzer.
+	analyzers := make([]*sta.Analyzer, workers)
+	scratch := make([][]float64, workers)
+	analyzers[0] = an
+	for w := 1; w < workers; w++ {
+		if analyzers[w], err = sta.New(c, lib); err != nil {
+			return nil, err
+		}
+	}
+	for w := range scratch {
+		scratch[w] = make([]float64, len(c.Gates))
+	}
+
 	delays := make([]float64, samples)
 	feats := make([][]float64, samples)
-	t0 := time.Now()
-	derates := make([]float64, len(c.Gates))
-	for s := 0; s < samples; s++ {
+	var staNanos atomic.Int64 // summed per-sample STA time across workers
+	err = parallel.ForWorker(workers, samples, func(w, s int) error {
+		sampler := variation.NewSamplerAt(vp, cfg.Seed, s)
+		derates := scratch[w]
 		global := sampler.Global()
 		var sum, sq, mn, mx, pathSum float64
 		mn, mx = 1e9, -1e9
@@ -77,10 +99,13 @@ func RunF4(cfg Config) (*F4Result, error) {
 				pathN++
 			}
 		}
-		an.Derates = derates
-		t, err := an.Run()
+		wan := analyzers[w]
+		wan.Derates = derates
+		t0 := time.Now()
+		t, err := wan.Run()
+		staNanos.Add(int64(time.Since(t0)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		delays[s] = t.WCDelay
 		n := float64(len(derates))
@@ -94,8 +119,11 @@ func RunF4(cfg Config) (*F4Result, error) {
 			pathMean = pathSum / float64(pathN)
 		}
 		feats[s] = []float64{global * 1e3, mean * 1e3, std * 1e6, mn * 1e3, mx * 1e3, pathMean * 1e3}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	mcTime := time.Since(t0)
 
 	res := &F4Result{Circuit: c.Name, Nominal: nominal.WCDelay, Stats: variation.Summarize(delays)}
 
@@ -117,13 +145,16 @@ func RunF4(cfg Config) (*F4Result, error) {
 		truth[i] = delays[split+i] * 1e12
 	}
 	res.MLMAPE = ml.MAPE(truth, pred)
-	perSTA := mcTime / time.Duration(samples)
+	// perSTA is per-sample simulator time summed across workers, so the
+	// surrogate speedup is independent of the worker count.
+	perSTA := time.Duration(staNanos.Load()) / time.Duration(samples)
 	perSur := surTime / time.Duration(len(pred))
 	if perSur > 0 {
 		res.MLSpeedup = float64(perSTA) / float64(perSur)
 	}
 
-	cfg.printf("circuit %s, %d MC samples (%v full STA each)\n", c.Name, samples, perSTA.Round(time.Microsecond))
+	cfg.printf("circuit %s, %d MC samples over %d workers (%v full STA each)\n",
+		c.Name, samples, workers, perSTA.Round(time.Microsecond))
 	st := res.Stats
 	cfg.printf("nominal %.1f ps | MC mean %.1f ps, σ %.2f ps, p95 %.1f ps, p99 %.1f ps, max %.1f ps\n",
 		res.Nominal*1e12, st.Mean*1e12, st.Std*1e12, st.P95*1e12, st.P99*1e12, st.Max*1e12)

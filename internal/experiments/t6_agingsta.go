@@ -17,7 +17,7 @@ type T6Result struct {
 // fresh < workload-aware ≈ ML-predicted < worst case, with the workload-
 // aware guardband recovering a large share of the static margin.
 func RunT6(cfg Config) (*T6Result, error) {
-	lib, err := library(cfg.Quick, 300, 0)
+	lib, err := library(cfg, 300, 0)
 	if err != nil {
 		return nil, err
 	}

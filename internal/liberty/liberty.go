@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/spice"
 )
 
@@ -142,63 +143,107 @@ func CoarseGrid() Grid {
 // Characterize builds a library by running the transistor-level simulator
 // over every (cell, pin, edge, slew, load) point of the grid, exactly like
 // a commercial characterization flow. The passed params carry the corner:
-// temperature, supply, and aging ΔVth.
+// temperature, supply, and aging ΔVth. It fans the sweep out over
+// GOMAXPROCS workers; use CharacterizeWorkers for an explicit worker count.
 func Characterize(name string, cells []*spice.Cell, p spice.Params, grid Grid) (*Library, error) {
+	return CharacterizeWorkers(name, cells, p, grid, 0)
+}
+
+// arcUnit is one independent characterization work item: the full slew×load
+// grid of a single (cell, pin, input-edge) timing arc. Units only write
+// their own arc tables and local counters, so they parallelize freely.
+type arcUnit struct {
+	cell        *spice.Cell
+	out         *Cell // destination library cell
+	arcIdx      int
+	pin         int
+	inRise      bool
+	side        []bool
+	runs, steps int
+}
+
+// CharacterizeWorkers is Characterize with a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). The characterization is deterministic:
+// the transistor-level simulator has no randomness and every (cell, arc)
+// unit is independent, with cost counters accumulated in unit order after
+// the fan-out, so the resulting library is bit-identical for any worker
+// count.
+func CharacterizeWorkers(name string, cells []*spice.Cell, p spice.Params, grid Grid, workers int) (*Library, error) {
 	lib := &Library{Name: name, Params: p, Cells: make(map[string]*Cell, len(cells))}
+	// Serial skeleton pass: resolve arcs and pin data, building the flat
+	// unit list the pool consumes. This is pure logic evaluation — cheap
+	// next to the transient sweeps.
+	var units []*arcUnit
 	for _, sc := range cells {
-		lc, err := characterizeCell(lib, sc, p, grid)
-		if err != nil {
-			return nil, fmt.Errorf("liberty: cell %s: %w", sc.Name, err)
+		lc := &Cell{
+			Name:        sc.Name,
+			Inputs:      sc.NumInputs,
+			PinCaps:     make([]float64, sc.NumInputs),
+			Transistors: sc.Transistors(),
 		}
+		for pin := 0; pin < sc.NumInputs; pin++ {
+			lc.PinCaps[pin] = sc.PinCap(pin)
+		}
+		for pin := 0; pin < sc.NumInputs; pin++ {
+			side, ok := spice.SensitizingSideInputs(sc, pin)
+			if !ok {
+				return nil, fmt.Errorf("liberty: cell %s: pin %d not sensitizable", sc.Name, pin)
+			}
+			for _, inRise := range []bool{true, false} {
+				arc := TimingArc{Pin: pin, InRise: inRise}
+				// Output direction from the digital function.
+				in := append([]bool(nil), side...)
+				in[pin] = inRise
+				arc.OutRise = sc.Logic(in)
+				units = append(units, &arcUnit{
+					cell: sc, out: lc, arcIdx: len(lc.Arcs),
+					pin: pin, inRise: inRise, side: side,
+				})
+				lc.Arcs = append(lc.Arcs, arc)
+			}
+		}
+		characterizeLeakage(sc, p, lc)
 		lib.Cells[sc.Name] = lc
+	}
+
+	err := parallel.For(workers, len(units), func(k int) error {
+		u := units[k]
+		arc := &u.out.Arcs[u.arcIdx]
+		arc.Delay = newTable(grid)
+		arc.OutSlew = newTable(grid)
+		arc.Energy = newTable(grid)
+		for i, slew := range grid.Slews {
+			for j, load := range grid.Loads {
+				m, err := spice.Simulate(u.cell, p, spice.Arc{
+					Pin: u.pin, RiseIn: u.inRise, InSlew: slew,
+					LoadCap: load, SideInputs: u.side,
+				})
+				if err != nil {
+					return fmt.Errorf("liberty: cell %s: %w", u.cell.Name, err)
+				}
+				u.runs++
+				u.steps += m.Steps
+				arc.Delay.Values[i][j] = m.Delay
+				arc.OutSlew.Values[i][j] = m.Slew
+				arc.Energy.Values[i][j] = m.Energy
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic cost accounting: sum per-unit counters in unit order.
+	for _, u := range units {
+		lib.SpiceRuns += u.runs
+		lib.SpiceSteps += u.steps
 	}
 	return lib, nil
 }
 
-func characterizeCell(lib *Library, sc *spice.Cell, p spice.Params, grid Grid) (*Cell, error) {
-	lc := &Cell{
-		Name:        sc.Name,
-		Inputs:      sc.NumInputs,
-		PinCaps:     make([]float64, sc.NumInputs),
-		Transistors: sc.Transistors(),
-	}
-	for pin := 0; pin < sc.NumInputs; pin++ {
-		lc.PinCaps[pin] = sc.PinCap(pin)
-	}
-	for pin := 0; pin < sc.NumInputs; pin++ {
-		side, ok := spice.SensitizingSideInputs(sc, pin)
-		if !ok {
-			return nil, fmt.Errorf("pin %d not sensitizable", pin)
-		}
-		for _, inRise := range []bool{true, false} {
-			arc := TimingArc{Pin: pin, InRise: inRise}
-			// Output direction from the digital function.
-			in := append([]bool(nil), side...)
-			in[pin] = inRise
-			arc.OutRise = sc.Logic(in)
-			arc.Delay = newTable(grid)
-			arc.OutSlew = newTable(grid)
-			arc.Energy = newTable(grid)
-			for i, slew := range grid.Slews {
-				for j, load := range grid.Loads {
-					m, err := spice.Simulate(sc, p, spice.Arc{
-						Pin: pin, RiseIn: inRise, InSlew: slew,
-						LoadCap: load, SideInputs: side,
-					})
-					if err != nil {
-						return nil, err
-					}
-					lib.SpiceRuns++
-					lib.SpiceSteps += m.Steps
-					arc.Delay.Values[i][j] = m.Delay
-					arc.OutSlew.Values[i][j] = m.Slew
-					arc.Energy.Values[i][j] = m.Energy
-				}
-			}
-			lc.Arcs = append(lc.Arcs, arc)
-		}
-	}
-	// State-dependent leakage over all input vectors.
+// characterizeLeakage fills the state-dependent leakage summary over all
+// input vectors of one cell.
+func characterizeLeakage(sc *spice.Cell, p spice.Params, lc *Cell) {
 	n := sc.NumInputs
 	total, worst := 0.0, 0.0
 	states := 1 << uint(n)
@@ -215,7 +260,6 @@ func characterizeCell(lib *Library, sc *spice.Cell, p spice.Params, grid Grid) (
 	}
 	lc.LeakageAvg = total / float64(states)
 	lc.LeakageMax = worst
-	return lc, nil
 }
 
 func newTable(g Grid) *Table {

@@ -9,6 +9,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Params describes the variation corner.
@@ -33,6 +35,24 @@ type Sampler struct {
 // NewSampler returns a sampler seeded for reproducibility.
 func NewSampler(p Params, seed int64) *Sampler {
 	return &Sampler{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewSamplerAt returns the sampler for Monte Carlo sample index i, with its
+// seed split deterministically from the base seed. Because every sample owns
+// an independent RNG stream, a Monte Carlo sweep produces identical samples
+// no matter how the index range is sharded over workers.
+func NewSamplerAt(p Params, seed int64, i int) *Sampler {
+	return NewSampler(p, parallel.SplitSeed(seed, int64(i)))
+}
+
+// MonteCarlo runs fn for each of n samples across a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). Each call receives the sample index and
+// a sampler derived via seed-splitting, so results are bit-identical for
+// any worker count as long as fn(i) writes only to per-index state.
+func MonteCarlo(p Params, seed int64, n, workers int, fn func(i int, s *Sampler) error) error {
+	return parallel.For(workers, n, func(i int) error {
+		return fn(i, NewSamplerAt(p, seed, i))
+	})
 }
 
 // Global draws one die-level Vth offset shared by all instances on the die.
