@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		exp     = flag.String("exp", "", "experiment id (T1..T7, F1..F5)")
-		quick   = flag.Bool("quick", false, "reduced workloads")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel workers (results are identical for any count)")
+		all       = flag.Bool("all", false, "run every experiment")
+		exp       = flag.String("exp", "", "experiment id (T1..T7, F1..F5)")
+		quick     = flag.Bool("quick", false, "reduced workloads")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers (results are identical for any count)")
+		benchjson = flag.String("benchjson", "", "run the fault-simulation benchmark sweep and write machine-readable timings to this file (e.g. BENCH_faultsim.json)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,15 @@ func main() {
 
 	start := time.Now()
 	switch {
+	case *benchjson != "":
+		doc, err := experiments.RunFaultSimBench(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := doc.WriteJSON(*benchjson); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *benchjson)
 	case *all:
 		if err := experiments.RunAll(cfg); err != nil {
 			fatal(err)
@@ -49,7 +59,7 @@ func main() {
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] [-quick] [-seed N] [-workers N]\n")
+		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] | -benchjson FILE [-quick] [-seed N] [-workers N]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.Names(), " "))
 		os.Exit(2)
 	}

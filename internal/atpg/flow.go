@@ -19,6 +19,10 @@ type Config struct {
 	Compact      bool // reverse-order static compaction (default on via DefaultConfig)
 	FillRandom   bool // fill don't-cares randomly (true) or with zeros
 	SkipRandom   bool // deterministic-only flow (for ablation)
+	// Workers bounds the fan-out of the post-generation coverage sweep and
+	// the transition-fault dictionary (<= 0 selects GOMAXPROCS). Results
+	// are bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the standard flow configuration.
@@ -158,8 +162,12 @@ func Run(n *circuit.Netlist, cfg Config) (*Result, error) {
 		patterns = compact(fsim, faults, patterns)
 	}
 
-	// Final accounting: one clean fault simulation of the final set.
-	final := fsim.Run(patterns, faults)
+	// Final accounting: one clean fault simulation of the final set, fanned
+	// out across workers (fault-shard results are bit-identical to serial).
+	final, err := fault.RunConcurrent(n, patterns, faults, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	res.Patterns = patterns
 	res.Detected = final.Detected
 	if res.TotalFaults > 0 {
@@ -255,15 +263,14 @@ func coverageCurve(r *fault.Result, nPatterns, total int) []CoveragePoint {
 // RandomOnly generates nPatterns random patterns and returns the coverage
 // curve — the baseline against which the ATPG curve is compared (figure F2).
 func RandomOnly(n *circuit.Netlist, nPatterns int, seed int64) (*Result, error) {
-	fsim, err := fault.NewSimulator(n)
-	if err != nil {
-		return nil, err
-	}
 	faults := fault.Universe(n)
 	rng := rand.New(rand.NewSource(seed))
 	p := logic.NewPatternSet(len(n.PIs), nPatterns)
 	p.RandFill(rng.Uint64)
-	r := fsim.Run(p, faults)
+	r, err := fault.RunConcurrent(n, p, faults, 0)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Circuit:     n.Name,
 		TotalFaults: len(faults),

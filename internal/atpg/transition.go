@@ -55,7 +55,7 @@ func RunTransition(n *circuit.Netlist, cfg Config) (*TransitionResult, error) {
 
 	detected := make([]bool, len(faults))
 	if nRand > 0 {
-		r, err := fault.SimulateTransitions(n, patterns, faults)
+		r, err := fault.SimulateTransitionsWorkers(n, patterns, faults, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +104,7 @@ func RunTransition(n *circuit.Netlist, cfg Config) (*TransitionResult, error) {
 				liveIdx = append(liveIdx, i)
 			}
 		}
-		r, err := fault.SimulateTransitions(n, patterns, live)
+		r, err := fault.SimulateTransitionsWorkers(n, patterns, live, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +115,7 @@ func RunTransition(n *circuit.Netlist, cfg Config) (*TransitionResult, error) {
 		}
 	}
 
-	final, err := fault.SimulateTransitions(n, patterns, faults)
+	final, err := fault.SimulateTransitionsWorkers(n, patterns, faults, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -41,18 +41,25 @@ type Diagnoser struct {
 	scoap  *circuit.SCOAP
 }
 
-// New builds a diagnoser: it fault-simulates the pattern set to create the
-// full-response dictionary.
+// New builds a diagnoser with the default worker count: it fault-simulates
+// the pattern set to create the full-response dictionary.
 func New(n *circuit.Netlist, patterns *logic.PatternSet) (*Diagnoser, error) {
-	fsim, err := fault.NewSimulator(n)
+	return NewWorkers(n, patterns, 0)
+}
+
+// NewWorkers is New with an explicit worker bound for the dictionary build
+// (<= 0 selects GOMAXPROCS). The dictionary is word-sharded across workers
+// and bit-identical for any count.
+func NewWorkers(n *circuit.Netlist, patterns *logic.PatternSet, workers int) (*Diagnoser, error) {
+	faults := fault.Universe(n)
+	dict, err := fault.DictionaryConcurrent(n, patterns, faults, workers)
 	if err != nil {
 		return nil, err
 	}
-	faults := fault.Universe(n)
 	return &Diagnoser{
 		Net:    n,
 		Faults: faults,
-		Dict:   fsim.Dictionary(patterns, faults),
+		Dict:   dict,
 		scoap:  circuit.ComputeSCOAP(n),
 	}, nil
 }

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/parallel"
+)
+
+// FaultSimBenchRow is one circuit size of the fault-simulation benchmark,
+// serialized into BENCH_faultsim.json so the performance trajectory of the
+// engine is tracked across PRs in machine-readable form.
+type FaultSimBenchRow struct {
+	Circuit      string  `json:"circuit"`
+	Gates        int     `json:"gates"`    // logic gates (excluding PIs)
+	Faults       int     `json:"faults"`   // collapsed fault universe
+	Patterns     int     `json:"patterns"` // random patterns simulated
+	PPSFPMs      float64 `json:"ppsfp_ms"`           // event-driven 64-way run, one goroutine
+	ConcurrentMs float64 `json:"concurrent_ms"`      // fault shards across workers
+	DictMs       float64 `json:"dictionary_ms"`      // full-signature dictionary (word-sharded)
+	SerialMs     float64 `json:"serial_ms,omitempty"` // one-pattern baseline; omitted where prohibitive
+	Speedup      float64 `json:"speedup,omitempty"`   // serial / ppsfp
+	Coverage     float64 `json:"coverage"`
+	BitIdentical bool    `json:"bit_identical,omitempty"` // DetectedBy of PPSFP == serial baseline; omitted when the baseline was not measured (a genuine mismatch aborts the sweep)
+	MPatFaultsPS float64 `json:"mpattern_faults_per_sec"` // faults × patterns / ppsfp time, in millions
+}
+
+// FaultSimBench is the top-level document of BENCH_faultsim.json.
+type FaultSimBench struct {
+	Schema    string             `json:"schema"` // "itr-faultsim-bench/v1"
+	Generated string             `json:"generated"`
+	GoVersion string             `json:"go_version"`
+	Workers   int                `json:"workers"`
+	Quick     bool               `json:"quick"`
+	Rows      []FaultSimBenchRow `json:"rows"`
+}
+
+// faultSimBenchSizes returns the generated-circuit sizes of the sweep.
+func faultSimBenchSizes(quick bool) ([]int, int) {
+	if quick {
+		return []int{200, 500}, 64
+	}
+	return []int{500, 2000, 8000}, 256
+}
+
+// serialBaselineLimit bounds the circuit size on which the one-pattern
+// baseline is measured; beyond it the baseline takes minutes and adds no
+// information to the trajectory.
+const serialBaselineLimit = 2000
+
+// minDuration times fn reps times and returns the fastest run, the standard
+// best-of-N benchmark discipline.
+func minDuration(reps int, fn func()) time.Duration {
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		fn()
+		d := time.Since(t0)
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// RunFaultSimBench measures the fault-simulation engine on generated
+// circuits of increasing size and returns the machine-readable benchmark
+// document. The one-pattern serial baseline doubles as a correctness
+// check: where it runs, the PPSFP DetectedBy must match it bit for bit.
+func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
+	sizes, patterns := faultSimBenchSizes(cfg.Quick)
+	doc := &FaultSimBench{
+		Schema:    "itr-faultsim-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Workers:   parallel.Workers(cfg.Workers),
+		Quick:     cfg.Quick,
+	}
+	tw := cfg.table()
+	fmt.Fprintf(tw, "circuit\tgates\tfaults\tpatterns\tppsfp\tconc(%d)\tdict\tserial\tspeedup\tMpat·faults/s\n", doc.Workers)
+	for _, gates := range sizes {
+		c := circuit.Random(64, gates, 3)
+		faults := fault.Universe(c)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		p := logic.NewPatternSet(len(c.PIs), patterns)
+		p.RandFill(rng.Uint64)
+		fsim, err := fault.NewSimulator(c)
+		if err != nil {
+			return nil, err
+		}
+		var rp *fault.Result
+		fsim.Run(p, faults) // warm the cone cache outside the timed region
+		ppsfp := minDuration(3, func() { rp = fsim.Run(p, faults) })
+		var cerr error
+		var rc *fault.Result
+		conc := minDuration(3, func() { rc, cerr = fault.RunConcurrent(c, p, faults, cfg.Workers) })
+		if cerr != nil {
+			return nil, cerr
+		}
+		for i := range faults {
+			if rp.DetectedBy[i] != rc.DetectedBy[i] {
+				return nil, fmt.Errorf("benchjson: %s fault %d: concurrent DetectedBy %d != %d",
+					c.Name, i, rc.DetectedBy[i], rp.DetectedBy[i])
+			}
+		}
+		dictReps := 2
+		if gates > serialBaselineLimit {
+			dictReps = 1 // the large-circuit dictionary dominates the sweep; one rep is enough
+		}
+		dict := minDuration(dictReps, func() {
+			if _, err := fault.DictionaryConcurrent(c, p, faults, cfg.Workers); err != nil {
+				cerr = err
+			}
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		row := FaultSimBenchRow{
+			Circuit: c.Name, Gates: c.NumLogicGates(), Faults: len(faults),
+			Patterns: patterns,
+			PPSFPMs:  float64(ppsfp) / float64(time.Millisecond),
+			ConcurrentMs: float64(conc) / float64(time.Millisecond),
+			DictMs:   float64(dict) / float64(time.Millisecond),
+			Coverage: rp.Coverage,
+			MPatFaultsPS: float64(len(faults)) * float64(patterns) / ppsfp.Seconds() / 1e6,
+		}
+		if gates <= serialBaselineLimit {
+			var rs *fault.Result
+			serial := minDuration(1, func() { rs = fsim.RunSerial(p, faults) })
+			row.SerialMs = float64(serial) / float64(time.Millisecond)
+			row.Speedup = row.SerialMs / row.PPSFPMs
+			row.BitIdentical = true
+			for i := range faults {
+				if rp.DetectedBy[i] != rs.DetectedBy[i] {
+					row.BitIdentical = false
+					return nil, fmt.Errorf("benchjson: %s fault %d: PPSFP DetectedBy %d != serial %d",
+						c.Name, i, rp.DetectedBy[i], rs.DetectedBy[i])
+				}
+			}
+		}
+		doc.Rows = append(doc.Rows, row)
+		serialCell, speedupCell := "-", "-"
+		if row.SerialMs > 0 {
+			serialCell = fmt.Sprintf("%.2fms", row.SerialMs)
+			speedupCell = fmt.Sprintf("%.1fx", row.Speedup)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2fms\t%.2fms\t%.2fms\t%s\t%s\t%.1f\n",
+			c.Name, row.Gates, row.Faults, row.Patterns, row.PPSFPMs, row.ConcurrentMs,
+			row.DictMs, serialCell, speedupCell, row.MPatFaultsPS)
+	}
+	return doc, tw.Flush()
+}
+
+// WriteJSON writes the benchmark document to path, indented for diffable
+// version-controlled trajectory files.
+func (b *FaultSimBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

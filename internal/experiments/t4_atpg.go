@@ -51,6 +51,7 @@ func RunT4(cfg Config) (*T4Result, error) {
 		guided := atpg.DefaultConfig()
 		guided.Seed = cfg.Seed
 		guided.BacktrackLim = 2000
+		guided.Workers = cfg.Workers
 		rg, err := atpg.Run(c, guided)
 		if err != nil {
 			return nil, err

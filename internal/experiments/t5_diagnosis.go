@@ -45,11 +45,12 @@ func RunT5(cfg Config) (*T5Result, error) {
 	for _, c := range circuits {
 		acfg := atpg.DefaultConfig()
 		acfg.Seed = cfg.Seed
+		acfg.Workers = cfg.Workers
 		gen, err := atpg.Run(c, acfg)
 		if err != nil {
 			return nil, err
 		}
-		d, err := diagnosis.New(c, gen.Patterns)
+		d, err := diagnosis.NewWorkers(c, gen.Patterns, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

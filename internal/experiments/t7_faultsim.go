@@ -8,6 +8,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/parallel"
 )
 
 // T7Row is one circuit line of the fault-simulation throughput table.
@@ -17,20 +18,26 @@ type T7Row struct {
 	UncollapsedN   int
 	Patterns       int
 	SerialTime     time.Duration
-	ParallelTime   time.Duration
-	Speedup        float64
-	CollapseSaving float64 // fraction of faults removed by collapsing
+	ParallelTime   time.Duration // 64-way PPSFP, single goroutine
+	ConcurrentTime time.Duration // 64-way PPSFP, fault shards across workers
+	Speedup        float64       // serial / parallel
+	ConcSpeedup    float64       // serial / concurrent
+	CollapseSaving float64       // fraction of faults removed by collapsing
 }
 
 // T7Result holds table T7.
 type T7Result struct {
-	Rows []T7Row
+	Workers int
+	Rows    []T7Row
 }
 
-// RunT7 reproduces table T7: 64-way parallel-pattern fault simulation
-// against the serial baseline, and the fault-collapsing ablation. Shape:
-// parallel simulation wins by an order of magnitude and collapsing removes
-// roughly a third of the fault universe.
+// RunT7 reproduces table T7: event-driven 64-way parallel-pattern fault
+// simulation against the one-pattern-at-a-time baseline (same event-driven
+// injection, no word parallelism), plus the multi-goroutine fault-shard
+// engine and the fault-collapsing ablation. Shape: word parallelism wins,
+// increasingly so on larger circuits; fault shards stack on top of it; and
+// collapsing removes roughly a quarter of the fault universe. All three
+// engines must agree bit-for-bit on the detected set.
 func RunT7(cfg Config) (*T7Result, error) {
 	suite := []*circuit.Netlist{
 		circuit.RippleAdder(16),
@@ -45,9 +52,9 @@ func RunT7(cfg Config) (*T7Result, error) {
 		}
 		patterns = 128
 	}
-	res := &T7Result{}
+	res := &T7Result{Workers: parallel.Workers(cfg.Workers)}
 	tw := cfg.table()
-	fmt.Fprintf(tw, "circuit\tfaults(all)\tfaults(collapsed)\tpatterns\tserial\tparallel\tspeedup\n")
+	fmt.Fprintf(tw, "circuit\tfaults(all)\tfaults(collapsed)\tpatterns\tserial\tparallel\tspeedup\tconc(%d)\tspeedup\n", res.Workers)
 	for _, c := range suite {
 		fsim, err := fault.NewSimulator(c)
 		if err != nil {
@@ -64,23 +71,40 @@ func RunT7(cfg Config) (*T7Result, error) {
 		serial := time.Since(t0)
 		t1 := time.Now()
 		rp := fsim.Run(p, faults)
-		parallel := time.Since(t1)
-		if rs.Detected != rp.Detected {
-			return nil, fmt.Errorf("T7: serial/parallel disagree on %s: %d vs %d",
-				c.Name, rs.Detected, rp.Detected)
+		par := time.Since(t1)
+		t2 := time.Now()
+		rc, err := fault.RunConcurrent(c, p, faults, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		conc := time.Since(t2)
+		if rs.Detected != rp.Detected || rp.Detected != rc.Detected {
+			return nil, fmt.Errorf("T7: engines disagree on %s: serial %d, parallel %d, concurrent %d",
+				c.Name, rs.Detected, rp.Detected, rc.Detected)
+		}
+		for i := range faults {
+			if rp.DetectedBy[i] != rc.DetectedBy[i] {
+				return nil, fmt.Errorf("T7: %s fault %d: concurrent first pattern %d != %d",
+					c.Name, i, rc.DetectedBy[i], rp.DetectedBy[i])
+			}
 		}
 		row := T7Row{
 			Circuit: c.Name, Faults: len(faults), UncollapsedN: len(all),
-			Patterns: patterns, SerialTime: serial, ParallelTime: parallel,
+			Patterns: patterns, SerialTime: serial, ParallelTime: par,
+			ConcurrentTime: conc,
 			CollapseSaving: 1 - float64(len(faults))/float64(len(all)),
 		}
-		if parallel > 0 {
-			row.Speedup = float64(serial) / float64(parallel)
+		if par > 0 {
+			row.Speedup = float64(serial) / float64(par)
+		}
+		if conc > 0 {
+			row.ConcSpeedup = float64(serial) / float64(conc)
 		}
 		res.Rows = append(res.Rows, row)
-		fmt.Fprintf(tw, "%s\t%d\t%d (-%.0f%%)\t%d\t%v\t%v\t%.1fx\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d (-%.0f%%)\t%d\t%v\t%v\t%.1fx\t%v\t%.1fx\n",
 			c.Name, len(all), len(faults), row.CollapseSaving*100, patterns,
-			serial.Round(10*time.Microsecond), parallel.Round(10*time.Microsecond), row.Speedup)
+			serial.Round(10*time.Microsecond), par.Round(10*time.Microsecond), row.Speedup,
+			conc.Round(10*time.Microsecond), row.ConcSpeedup)
 	}
 	return res, tw.Flush()
 }

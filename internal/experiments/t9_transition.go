@@ -54,13 +54,14 @@ func RunT9(cfg Config) (*T9Result, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		p := logic.NewPatternSet(len(c.PIs), nRandom)
 		p.RandFill(rng.Uint64)
-		rr, err := fault.SimulateTransitions(c, p, faults)
+		rr, err := fault.SimulateTransitionsWorkers(c, p, faults, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		acfg := atpg.DefaultConfig()
 		acfg.Seed = cfg.Seed
 		acfg.BacktrackLim = 2000
+		acfg.Workers = cfg.Workers
 		ar, err := atpg.RunTransition(c, acfg)
 		if err != nil {
 			return nil, err

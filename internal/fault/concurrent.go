@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/parallel"
 )
 
 // RunConcurrent fault-simulates the pattern set across multiple goroutines,
@@ -72,4 +73,47 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 		res.Coverage = float64(res.Detected) / float64(res.Total)
 	}
 	return res, nil
+}
+
+// DictionaryConcurrent builds the same full-response signatures as
+// Simulator.Dictionary, sharding the pattern words across workers. Each
+// worker owns a compiled simulator (created lazily on first claim) and
+// fills whole signature columns; distinct words write disjoint storage, so
+// the merged dictionary is bit-identical to the serial one for any worker
+// count. workers <= 0 selects GOMAXPROCS.
+func DictionaryConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers int) ([]*Signature, error) {
+	words := p.Words()
+	workers = parallel.Workers(workers)
+	if workers <= 1 || words <= 1 {
+		fsim, err := NewSimulator(n)
+		if err != nil {
+			return nil, err
+		}
+		return fsim.Dictionary(p, faults), nil
+	}
+	sigs := newSignatures(len(faults), len(n.POs), words)
+	type scratch struct {
+		fsim  *Simulator
+		pi    []logic.Word
+		perPO []logic.Word
+	}
+	scratches := make([]scratch, workers)
+	err := parallel.ForWorker(workers, words, func(worker, w int) error {
+		sc := &scratches[worker]
+		if sc.fsim == nil {
+			fsim, err := NewSimulator(n)
+			if err != nil {
+				return err
+			}
+			sc.fsim = fsim
+			sc.pi = make([]logic.Word, len(n.PIs))
+			sc.perPO = make([]logic.Word, len(n.POs))
+		}
+		sc.fsim.dictionaryWord(p, faults, w, sigs, sc.pi, sc.perPO)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sigs, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/sim"
 )
 
 // Property: collapsing never invents faults and never changes which
@@ -43,6 +44,150 @@ func TestCollapsePreservesDetection(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the event-driven 64-way engine and the one-pattern-at-a-time
+// baseline agree exactly — identical DetectedBy indices and Coverage — on
+// randomly generated circuits. This pins the event-driven rewrite (epoch
+// stamping, early termination) to the simplest formulation of PPSFP.
+func TestEventDrivenMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(6+rng.Intn(8), 40+rng.Intn(120), seed)
+		fsim, err := NewSimulator(c)
+		if err != nil {
+			return false
+		}
+		faults := Universe(c)
+		p := logic.NewPatternSet(len(c.PIs), 70+rng.Intn(80))
+		p.RandFill(rng.Uint64)
+		par := fsim.Run(p, faults)
+		ser := fsim.RunSerial(p, faults)
+		if par.Coverage != ser.Coverage || par.Detected != ser.Detected {
+			return false
+		}
+		for i := range faults {
+			if par.DetectedBy[i] != ser.DetectedBy[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the event-driven injection produces, word for word, the same
+// PO difference words as a full re-simulation of the whole faulty circuit
+// (every gate evaluated, no events, no cones) — an oracle independent of
+// the cone and stamping machinery.
+func TestEventDrivenMatchesFullResim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(5+rng.Intn(6), 30+rng.Intn(80), seed)
+		fsim, err := NewSimulator(c)
+		if err != nil {
+			return false
+		}
+		faults := Universe(c)
+		p := logic.NewPatternSet(len(c.PIs), 64)
+		p.RandFill(rng.Uint64)
+		gsim, err := sim.New(c)
+		if err != nil {
+			return false
+		}
+		pi := make([]logic.Word, len(c.PIs))
+		for i := range pi {
+			pi[i] = p.Bits[i][0]
+		}
+		gsim.Block(pi)
+		good := append([]logic.Word(nil), gsim.Values()...)
+		fsim.good.Block(pi)
+		for _, fl := range faults {
+			want := fullResimDiff(c, fl, pi, good)
+			got := fsim.detectWord(fl, p.TailMask(0), nil)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fullResimDiff re-evaluates every gate of the circuit with fault f
+// injected and returns the OR over POs of faulty XOR good words.
+func fullResimDiff(c *circuit.Netlist, f Fault, pi []logic.Word, good []logic.Word) logic.Word {
+	idx := c.InputIndex()
+	vals := make([]logic.Word, len(c.Gates))
+	var force logic.Word
+	if f.SA == 1 {
+		force = ^logic.Word(0)
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gates[id]
+		var v logic.Word
+		if g.Type == circuit.Input || g.Type == circuit.DFF {
+			v = pi[idx[id]]
+		} else {
+			in := make([]logic.Word, len(g.Fanin))
+			for pin, fi := range g.Fanin {
+				in[pin] = vals[fi]
+				if id == f.Gate && pin == f.Pin {
+					in[pin] = force
+				}
+			}
+			v = sim.Eval(g.Type, in)
+		}
+		if id == f.Gate && f.Pin < 0 {
+			v = force
+		}
+		vals[id] = v
+	}
+	var diff logic.Word
+	for _, po := range c.POs {
+		diff |= vals[po] ^ good[po]
+	}
+	return diff
+}
+
+// Property: the word-sharded concurrent dictionary is bit-identical to the
+// serial dictionary for any worker count.
+func TestDictionaryConcurrentBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(6+rng.Intn(6), 40+rng.Intn(80), seed)
+		fsim, err := NewSimulator(c)
+		if err != nil {
+			return false
+		}
+		faults := Universe(c)
+		p := logic.NewPatternSet(len(c.PIs), 65+rng.Intn(200))
+		p.RandFill(rng.Uint64)
+		want := fsim.Dictionary(p, faults)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got, err := DictionaryConcurrent(c, p, faults, workers)
+			if err != nil {
+				return false
+			}
+			for i := range want {
+				for o := range want[i].Bits {
+					for w := range want[i].Bits[o] {
+						if got[i].Bits[o][w] != want[i].Bits[o][w] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
 	}
 }

@@ -2,7 +2,8 @@ package fault
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
@@ -11,16 +12,26 @@ import (
 
 // Simulator performs serial-fault, parallel-pattern stuck-at fault
 // simulation (PPSFP): the good circuit is simulated once per 64-pattern
-// block, then each live fault is injected and only its structural fanout
-// cone re-evaluated; a fault is detected when any primary output differs
-// from the good value in any pattern bit.
+// block, then each live fault is injected and its structural fanout cone
+// re-evaluated event-driven — only gates reached by a live fault effect are
+// touched, and injection terminates as soon as the effect dies (every
+// faulty word equals its good word and nothing downstream can differ).
+// A fault is detected when any primary output differs from the good value
+// in any pattern bit.
 type Simulator struct {
-	Net   *circuit.Netlist
-	good  *sim.Simulator
-	cones [][]int      // per gate ID: fanout cone in topological order (incl. the gate)
-	isPO  []bool       // per gate ID
-	fval  []logic.Word // scratch: faulty values
-	tpos  []int        // gate ID -> topological position
+	Net    *circuit.Netlist
+	good   *sim.Simulator
+	cones  [][]int32    // per gate ID: fanout cone in topological order (incl. the gate)
+	poIdx  []int32      // gate ID -> index in Net.POs, -1 when not a PO
+	fval   []logic.Word // scratch: faulty values, valid where stamp[id] == epoch
+	tpos   []int32      // gate ID -> topological position
+	topoID []int32      // topological position -> gate ID (inverse of tpos)
+	stamp  []uint64     // per gate: epoch at which fval was written with a differing word
+	visit  []uint64     // per gate: cone-construction visited stamp
+	epoch  uint64       // current detectWord epoch
+	vepoch uint64       // current cone-construction epoch
+	stack  []int32      // cone-construction scratch
+	posBuf []int32      // cone-construction scratch (topological positions)
 }
 
 // NewSimulator compiles a fault simulator for the netlist.
@@ -30,51 +41,75 @@ func NewSimulator(n *circuit.Netlist) (*Simulator, error) {
 		return nil, err
 	}
 	fs := &Simulator{
-		Net:   n,
-		good:  gs,
-		cones: make([][]int, len(n.Gates)),
-		isPO:  make([]bool, len(n.Gates)),
-		fval:  make([]logic.Word, len(n.Gates)),
-		tpos:  make([]int, len(n.Gates)),
+		Net:    n,
+		good:   gs,
+		cones:  make([][]int32, len(n.Gates)),
+		poIdx:  make([]int32, len(n.Gates)),
+		fval:   make([]logic.Word, len(n.Gates)),
+		tpos:   make([]int32, len(n.Gates)),
+		topoID: make([]int32, len(n.Gates)),
+		stamp:  make([]uint64, len(n.Gates)),
+		visit:  make([]uint64, len(n.Gates)),
 	}
 	for i, id := range n.TopoOrder() {
-		fs.tpos[id] = i
+		fs.tpos[id] = int32(i)
+		fs.topoID[i] = int32(id)
 	}
-	for _, po := range n.POs {
-		fs.isPO[po] = true
+	for i := range fs.poIdx {
+		fs.poIdx[i] = -1
+	}
+	for i, po := range n.POs {
+		fs.poIdx[po] = int32(i)
 	}
 	return fs, nil
 }
 
 // cone returns the fanout cone of gate id (including id), in topological
-// order, computing and caching it on first use.
-func (s *Simulator) cone(id int) []int {
+// order, computing and caching it on first use. Membership is tracked with
+// an epoch-stamped visited array (no map) and the topological order is
+// recovered by sorting the precomputed positions and mapping them back
+// through the inverse topological table (no comparator closure).
+func (s *Simulator) cone(id int) []int32 {
 	if s.cones[id] != nil {
 		return s.cones[id]
 	}
-	seen := map[int]bool{id: true}
-	stack := []int{id}
-	var cone []int
+	s.vepoch++
+	ve := s.vepoch
+	s.visit[id] = ve
+	stack := append(s.stack[:0], int32(id))
+	pos := s.posBuf[:0]
 	for len(stack) > 0 {
 		g := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		cone = append(cone, g)
+		pos = append(pos, s.tpos[g])
 		for _, fo := range s.Net.Gates[g].Fanout {
-			if !seen[fo] {
-				seen[fo] = true
-				stack = append(stack, fo)
+			if s.visit[fo] != ve {
+				s.visit[fo] = ve
+				stack = append(stack, int32(fo))
 			}
 		}
 	}
-	sort.Slice(cone, func(i, j int) bool { return s.tpos[cone[i]] < s.tpos[cone[j]] })
+	slices.Sort(pos)
+	cone := make([]int32, len(pos))
+	for i, tp := range pos {
+		cone[i] = s.topoID[tp]
+	}
+	s.stack, s.posBuf = stack, pos // keep grown scratch capacity
 	s.cones[id] = cone
 	return cone
 }
 
 // detectWord simulates fault f against the good values currently held in
-// s.good (from the last Block call) and returns, for each PO index, the word
-// of pattern bits where the faulty response differs. The aggregate OR of
-// all PO difference words is returned as well.
+// s.good (from the last Block call) and returns the word of pattern bits
+// where any faulty primary output differs. When perPO is non-nil the
+// difference word of each PO index is OR-accumulated into it.
+//
+// The walk is event-driven: the cone is topologically ordered, so a gate is
+// evaluated only when one of its fanins carries a fault effect (stamped this
+// epoch with a word differing from the good value). maxReach tracks the
+// furthest topological position any live effect can still influence; once
+// the walk passes it the effect has provably died and the remaining cone is
+// skipped.
 func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) logic.Word {
 	n := s.Net
 	site := f.Gate
@@ -85,68 +120,72 @@ func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) log
 	var faninBuf [8]logic.Word
 	var diff logic.Word
 	cone := s.cone(site)
-	// Evaluate the cone with faulty values. Gates outside the cone keep
-	// good values; s.fval is lazily filled per cone member.
-	for ci, id := range cone {
+	good := s.good.Values()
+	s.epoch++
+	ep := s.epoch
+	maxReach := int32(-1)
+	for ci, id32 := range cone {
+		id := int(id32)
+		isSite := ci == 0
+		if !isSite && s.tpos[id32] > maxReach {
+			break // fault effect died: nothing stamped feeds this or any later gate
+		}
 		g := n.Gates[id]
 		var v logic.Word
-		if ci == 0 && f.Pin < 0 {
+		if isSite && f.Pin < 0 {
 			// Output (stem) fault on the site gate itself.
 			v = force
 		} else {
+			needs := isSite // input-branch site always re-evaluates
+			if !needs {
+				for _, fi := range g.Fanin {
+					if s.stamp[fi] == ep {
+						needs = true
+						break
+					}
+				}
+			}
+			if !needs {
+				continue
+			}
 			in := faninBuf[:0]
 			for pin, fi := range g.Fanin {
 				var w logic.Word
-				if id == site && pin == f.Pin {
+				if isSite && pin == f.Pin {
 					w = force // input branch fault
-				} else if s.inCone(cone, ci, fi) {
+				} else if s.stamp[fi] == ep {
 					w = s.fval[fi]
 				} else {
-					w = s.good.Value(fi)
+					w = good[fi]
 				}
 				in = append(in, w)
 			}
 			if g.Type == circuit.Input || g.Type == circuit.DFF {
-				v = s.good.Value(id) // PIs unchanged unless stem-faulted
+				v = good[id] // PIs unchanged unless stem-faulted
 			} else {
 				v = sim.Eval(g.Type, in)
 			}
-			if id == site && f.Pin < 0 {
-				v = force
-			}
+		}
+		d := v ^ good[id]
+		if d == 0 {
+			continue // faulty equals good: no event; consumers read the good word
 		}
 		s.fval[id] = v
-		if s.isPO[id] {
-			d := (v ^ s.good.Value(id)) & mask
-			if d != 0 && perPO != nil {
-				for poIdx, po := range n.POs {
-					if po == id {
-						perPO[poIdx] |= d
-					}
-				}
+		s.stamp[id] = ep
+		for _, fo := range g.Fanout {
+			if tp := s.tpos[fo]; tp > maxReach {
+				maxReach = tp
 			}
-			diff |= d
+		}
+		if pi := s.poIdx[id]; pi >= 0 {
+			dm := d & mask
+			if dm != 0 && perPO != nil {
+				perPO[pi] |= dm
+			}
+			diff |= dm
 		}
 	}
 	return diff
-}
-
-// inCone reports whether gate fi appears in cone before position ci. Cones
-// are topologically sorted, so any fanin inside the cone appears earlier;
-// a simple backward scan is cheap because cones are small relative to the
-// netlist and fanins are near their consumers.
-func (s *Simulator) inCone(cone []int, ci, fi int) bool {
-	for k := ci - 1; k >= 0; k-- {
-		if cone[k] == fi {
-			return true
-		}
-		// Early exit: cone is topologically ordered, so once we pass below
-		// fi's topological position the fanin cannot appear.
-		if s.tpos[cone[k]] < s.tpos[fi] {
-			return false
-		}
-	}
-	return false
 }
 
 // Result summarizes a fault simulation run.
@@ -184,12 +223,7 @@ func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
 			diff := s.detectWord(faults[fi], mask, nil)
 			if diff != 0 {
 				// First detecting pattern = lowest set bit.
-				bit := 0
-				for diff&1 == 0 {
-					diff >>= 1
-					bit++
-				}
-				res.DetectedBy[fi] = w*logic.WordBits + bit
+				res.DetectedBy[fi] = w*logic.WordBits + bits.TrailingZeros64(diff)
 				res.Detected++
 			} else {
 				kept = append(kept, fi)
@@ -260,34 +294,51 @@ func (sg *Signature) FailBits() int {
 	return c
 }
 
+// newSignatures allocates the signature matrix for faults × POs × words in
+// one backing slice.
+func newSignatures(nFaults, nPOs, words int) []*Signature {
+	sigs := make([]*Signature, nFaults)
+	backing := make([]logic.Word, nFaults*nPOs*words)
+	for i := range sigs {
+		sigs[i] = &Signature{Bits: make([][]logic.Word, nPOs)}
+		for o := range sigs[i].Bits {
+			sigs[i].Bits[o], backing = backing[:words:words], backing[words:]
+		}
+	}
+	return sigs
+}
+
+// dictionaryWord fills column w of the signature matrix: it simulates the
+// good circuit for pattern word w and injects every fault. Signatures must
+// have been allocated for the full word range; distinct words touch
+// disjoint storage, which is what makes DictionaryConcurrent's word-sharded
+// merge bit-identical to the serial run.
+func (s *Simulator) dictionaryWord(p *logic.PatternSet, faults []Fault, w int, sigs []*Signature, pi, perPO []logic.Word) {
+	for i := range pi {
+		pi[i] = p.Bits[i][w]
+	}
+	s.good.Block(pi)
+	mask := p.TailMask(w)
+	for fi := range faults {
+		for o := range perPO {
+			perPO[o] = 0
+		}
+		s.detectWord(faults[fi], mask, perPO)
+		for o := range perPO {
+			sigs[fi].Bits[o][w] = perPO[o]
+		}
+	}
+}
+
 // Dictionary fault-simulates without dropping and returns every fault's
 // full failure signature — the input to fault diagnosis.
 func (s *Simulator) Dictionary(p *logic.PatternSet, faults []Fault) []*Signature {
 	words := p.Words()
-	sigs := make([]*Signature, len(faults))
-	for i := range sigs {
-		sigs[i] = &Signature{Bits: make([][]logic.Word, len(s.Net.POs))}
-		for o := range sigs[i].Bits {
-			sigs[i].Bits[o] = make([]logic.Word, words)
-		}
-	}
+	sigs := newSignatures(len(faults), len(s.Net.POs), words)
 	pi := make([]logic.Word, len(s.Net.PIs))
 	perPO := make([]logic.Word, len(s.Net.POs))
 	for w := 0; w < words; w++ {
-		for i := range pi {
-			pi[i] = p.Bits[i][w]
-		}
-		s.good.Block(pi)
-		mask := p.TailMask(w)
-		for fi := range faults {
-			for o := range perPO {
-				perPO[o] = 0
-			}
-			s.detectWord(faults[fi], mask, perPO)
-			for o := range perPO {
-				sigs[fi].Bits[o][w] = perPO[o]
-			}
-		}
+		s.dictionaryWord(p, faults, w, sigs, pi, perPO)
 	}
 	return sigs
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
@@ -64,11 +65,18 @@ type TransitionResult struct {
 }
 
 // SimulateTransitions runs two-pattern transition-fault simulation over all
-// consecutive pattern pairs of the set. It composes the existing engines:
-// good-value simulation supplies the initialization condition, and the
-// stuck-at dictionary supplies launch/propagation, so the result provably
-// matches the two-pattern definition above.
+// consecutive pattern pairs of the set with the default worker count.
 func SimulateTransitions(n *circuit.Netlist, p *logic.PatternSet, faults []TransitionFault) (*TransitionResult, error) {
+	return SimulateTransitionsWorkers(n, p, faults, 0)
+}
+
+// SimulateTransitionsWorkers runs two-pattern transition-fault simulation
+// over all consecutive pattern pairs of the set. It composes the existing
+// engines: good-value simulation supplies the initialization condition, and
+// the stuck-at dictionary (built word-sharded across workers; bit-identical
+// for any count, <= 0 selects GOMAXPROCS) supplies launch/propagation, so
+// the result provably matches the two-pattern definition above.
+func SimulateTransitionsWorkers(n *circuit.Netlist, p *logic.PatternSet, faults []TransitionFault, workers int) (*TransitionResult, error) {
 	if p.N < 2 {
 		return &TransitionResult{Total: len(faults), DetectedBy: fillNeg(len(faults))}, nil
 	}
@@ -97,25 +105,30 @@ func SimulateTransitions(n *circuit.Netlist, p *logic.PatternSet, faults []Trans
 		return vals[gate][k/logic.WordBits]>>(uint(k)%logic.WordBits)&1 == 1
 	}
 
-	// Stuck-at stem dictionary for the gates that carry transition faults.
-	fsim, err := NewSimulator(n)
-	if err != nil {
-		return nil, err
-	}
+	// Stuck-at stem dictionary for the gates that carry transition faults,
+	// in deterministic gate order.
 	needGate := map[int]bool{}
 	for _, tf := range faults {
 		needGate[tf.Gate] = true
 	}
+	gates := make([]int, 0, len(needGate))
+	for g := range needGate {
+		gates = append(gates, g)
+	}
+	sort.Ints(gates)
 	var stuck []Fault
 	stuckIdx := map[Fault]int{}
-	for g := range needGate {
+	for _, g := range gates {
 		for _, sa := range []uint8{0, 1} {
 			f := Fault{Gate: g, Pin: -1, SA: sa}
 			stuckIdx[f] = len(stuck)
 			stuck = append(stuck, f)
 		}
 	}
-	dict := fsim.Dictionary(p, stuck)
+	dict, err := DictionaryConcurrent(n, p, stuck, workers)
+	if err != nil {
+		return nil, err
+	}
 	stuckDetected := func(gate int, sa uint8, k int) bool {
 		sg := dict[stuckIdx[Fault{Gate: gate, Pin: -1, SA: sa}]]
 		w, b := k/logic.WordBits, uint(k%logic.WordBits)

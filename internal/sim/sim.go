@@ -18,7 +18,7 @@ type Simulator struct {
 	Net    *circuit.Netlist
 	order  []int
 	values []logic.Word // one word (64 patterns) per gate
-	piPos  map[int]int  // gate ID -> index in Net.PIs
+	piPos  []int32      // gate ID -> index in Net.PIs, -1 for non-PI gates
 }
 
 // New compiles a simulator for the netlist. The netlist must validate.
@@ -26,11 +26,18 @@ func New(n *circuit.Netlist) (*Simulator, error) {
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	piPos := make([]int32, len(n.Gates))
+	for i := range piPos {
+		piPos[i] = -1
+	}
+	for i, id := range n.PIs {
+		piPos[id] = int32(i)
+	}
 	return &Simulator{
 		Net:    n,
 		order:  n.TopoOrder(),
 		values: make([]logic.Word, len(n.Gates)),
-		piPos:  n.InputIndex(),
+		piPos:  piPos,
 	}, nil
 }
 
@@ -102,6 +109,12 @@ func (s *Simulator) Block(piWords []logic.Word) []logic.Word {
 
 // Value returns gate id's word from the most recent Block call.
 func (s *Simulator) Value(id int) logic.Word { return s.values[id] }
+
+// Values returns every gate's word from the most recent Block call. The
+// slice aliases internal storage valid until the next Block call; callers
+// must not mutate it. Indexing it directly avoids a call per fanin in the
+// fault-simulation inner loop.
+func (s *Simulator) Values() []logic.Word { return s.values }
 
 // Outputs copies the PO words from the most recent Block call into dst
 // (allocated when nil) and returns it.
