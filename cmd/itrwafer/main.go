@@ -7,6 +7,8 @@
 //	itrwafer                      # train + evaluate all classifiers
 //	itrwafer -show Scratch        # print an example map of one class
 //	itrwafer -dim 8192 -train 80  # bigger hypervectors / training set
+//	itrwafer -export model.json   # train and save an itr-model/v1 artifact
+//	itrwafer -import model.json   # evaluate a saved artifact (itrserve's input)
 package main
 
 import (
@@ -14,20 +16,25 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/wafer"
 	"repro/internal/yieldmodel"
 )
 
 func main() {
 	var (
-		show   = flag.String("show", "", "render one example map of a class and exit")
-		dim    = flag.Int("dim", 4096, "hypervector dimension")
-		trainN = flag.Int("train", 40, "training maps per class")
-		testN  = flag.Int("test", 20, "test maps per class")
-		size   = flag.Int("size", 64, "wafer grid size")
-		seed   = flag.Int64("seed", 1, "random seed")
+		show    = flag.String("show", "", "render one example map of a class and exit")
+		dim     = flag.Int("dim", 4096, "hypervector dimension")
+		trainN  = flag.Int("train", 40, "training maps per class")
+		testN   = flag.Int("test", 20, "test maps per class")
+		size    = flag.Int("size", 64, "wafer grid size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		export  = flag.String("export", "", "train the HDC classifier and write it as an itr-model/v1 artifact")
+		imprt   = flag.String("import", "", "load a saved artifact and evaluate it instead of training")
+		version = flag.Int("version", 1, "artifact version written by -export")
 	)
 	flag.Parse()
 
@@ -41,6 +48,19 @@ func main() {
 		}
 		m := wafer.Generate(class, cfg, rand.New(rand.NewSource(*seed)))
 		render(m)
+		return
+	}
+
+	if *export != "" {
+		if err := exportModel(*export, cfg, *dim, *trainN, *seed, *version); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *imprt != "" {
+		if err := importModel(*imprt, cfg, *testN, *seed); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -85,6 +105,63 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// exportModel trains the HDC classifier on a generated dataset and writes
+// it as a versioned itr-model/v1 artifact — the input of itrserve's model
+// registry.
+func exportModel(path string, cfg wafer.Config, dim, trainN int, seed int64, version int) error {
+	fmt.Printf("training HDC-d%d on %d maps/class (%dx%d, seed %d)\n",
+		dim, trainN, cfg.Size, cfg.Size, seed)
+	train := wafer.GenerateDataset(trainN, cfg, seed)
+	cls := core.NewHDCWaferClassifier(dim, cfg.Size, 20, seed)
+	if err := cls.Fit(train); err != nil {
+		return err
+	}
+	a, err := serve.NewArtifact(serve.KindWaferHDC, "itrwafer-hdc", version, cls)
+	if err != nil {
+		return err
+	}
+	a.CreatedUnix = time.Now().Unix()
+	if err := a.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s artifact v%d to %s\n", a.Kind, a.Version, path)
+	return nil
+}
+
+// importModel loads a saved wafer-classifier artifact and evaluates it on a
+// freshly generated test set.
+func importModel(path string, cfg wafer.Config, testN int, seed int64) error {
+	a, err := serve.ReadArtifact(path)
+	if err != nil {
+		return err
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Install(a); err != nil {
+		return err
+	}
+	model := reg.Wafer()
+	if model == nil {
+		return fmt.Errorf("artifact %s is %q, not a wafer classifier", path, a.Kind)
+	}
+	cls := model.Cls
+	if gs := cls.GridSize(); gs != cfg.Size {
+		fmt.Printf("note: model grid %dx%d overrides -size %d\n", gs, gs, cfg.Size)
+		cfg.Size = gs
+	}
+	fmt.Printf("loaded %s %q v%d (dim %d, grid %dx%d)\n",
+		a.Kind, a.Name, a.Version, cls.Dim, cfg.Size, cfg.Size)
+	test := wafer.GenerateDataset(testN, cfg, seed+1)
+	correct := 0
+	for i, m := range test.Maps {
+		if cls.Predict(m) == test.Labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("accuracy %.1f%% on %d generated test maps\n",
+		100*float64(correct)/float64(len(test.Maps)), len(test.Maps))
+	return nil
 }
 
 func classByName(name string) (wafer.Class, bool) {

@@ -90,6 +90,35 @@ func TestItrwaferShow(t *testing.T) {
 	}
 }
 
+// TestItrwaferExportImport round-trips a model artifact through the CLI:
+// train + export, then import + evaluate. Determinism makes the imported
+// run reproducible, so two imports must print byte-identical reports (the
+// bit-identity of reloaded predictions is pinned at library level in
+// internal/core and internal/hdc).
+func TestItrwaferExportImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "wafer.json")
+	common := []string{"-dim", "512", "-size", "16", "-seed", "5"}
+	out := runTool(t, append([]string{"./cmd/itrwafer", "-export", path, "-train", "2"}, common...)...)
+	if !strings.Contains(out, "wrote wafer-hdc artifact v1") {
+		t.Fatalf("export output:\n%s", out)
+	}
+	imp := func() string {
+		return runTool(t, append([]string{"./cmd/itrwafer", "-import", path, "-test", "2"}, common...)...)
+	}
+	out = imp()
+	for _, needle := range []string{`loaded wafer-hdc "itrwafer-hdc" v1`, "accuracy"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("import output missing %q:\n%s", needle, out)
+		}
+	}
+	if again := imp(); again != out {
+		t.Errorf("imported model is not deterministic:\nfirst:\n%s\nsecond:\n%s", out, again)
+	}
+}
+
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }

@@ -51,7 +51,9 @@ func (h *HDCWaferClassifier) Fit(d *wafer.Dataset) error {
 	return nil
 }
 
-// Predict classifies one wafer map.
+// Predict classifies one wafer map. It is safe for concurrent use on a
+// fitted model (encoding and prototype lookup are both concurrent-reader
+// safe), which is what lets itrserve share one model across handlers.
 func (h *HDCWaferClassifier) Predict(m *wafer.Map) int {
 	return h.cls.Predict(h.enc.Encode(m))
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/hdc"
+	"repro/internal/wafer"
+)
+
+// hdcWaferJSON is the wire form of a trained HDCWaferClassifier: the
+// encoder as its deterministic rebuild recipe, the classifier as its full
+// accumulator state. This is the payload of "wafer-hdc" itr-model/v1
+// artifacts.
+type hdcWaferJSON struct {
+	Encoder    wafer.EncoderConfig `json:"encoder"`
+	Epochs     int                 `json:"epochs"`
+	ErrHistory []int               `json:"err_history,omitempty"`
+	Classifier *hdc.Classifier     `json:"classifier"`
+}
+
+// MarshalJSON serializes the trained model.
+func (h *HDCWaferClassifier) MarshalJSON() ([]byte, error) {
+	if h.enc == nil || h.cls == nil {
+		return nil, fmt.Errorf("core: cannot serialize unbuilt wafer classifier")
+	}
+	return json.Marshal(hdcWaferJSON{
+		Encoder:    h.enc.Config(),
+		Epochs:     h.Epochs,
+		ErrHistory: h.ErrHistory,
+		Classifier: h.cls,
+	})
+}
+
+// UnmarshalJSON restores a trained model; its predictions are bit-identical
+// to the classifier that was saved.
+func (h *HDCWaferClassifier) UnmarshalJSON(data []byte) error {
+	var w hdcWaferJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: decode wafer classifier: %w", err)
+	}
+	if w.Classifier == nil {
+		return fmt.Errorf("core: wafer classifier payload missing classifier state")
+	}
+	if w.Classifier.Dim != w.Encoder.Dim {
+		return fmt.Errorf("core: classifier dim %d != encoder dim %d",
+			w.Classifier.Dim, w.Encoder.Dim)
+	}
+	enc, err := wafer.NewEncoderFromConfig(w.Encoder)
+	if err != nil {
+		return err
+	}
+	h.Dim = w.Encoder.Dim
+	h.Epochs = w.Epochs
+	h.ErrHistory = w.ErrHistory
+	h.enc = enc
+	h.cls = w.Classifier
+	return nil
+}
+
+// GridSize returns the wafer grid edge the model was built for (incoming
+// maps must match it).
+func (h *HDCWaferClassifier) GridSize() int { return h.enc.Config().Size }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/wafer"
+)
+
+// TestHDCWaferSaveLoadRoundTrip pins the artifact contract end to end: a
+// serialized-and-reloaded wafer classifier predicts bit-identically to the
+// original on every test map (the -export/-import path of itrwafer and the
+// registry's install path both ride on it).
+func TestHDCWaferSaveLoadRoundTrip(t *testing.T) {
+	cfg := wafer.DefaultConfig()
+	cfg.Size = 24
+	train := wafer.GenerateDataset(6, cfg, 2)
+	test := wafer.GenerateDataset(3, cfg, 3)
+
+	orig := NewHDCWaferClassifier(1024, cfg.Size, 10, 2)
+	if err := orig.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &HDCWaferClassifier{}
+	if err := json.Unmarshal(data, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim != orig.Dim || loaded.GridSize() != cfg.Size {
+		t.Fatalf("reloaded header dim=%d grid=%d", loaded.Dim, loaded.GridSize())
+	}
+	for i, m := range test.Maps {
+		if a, b := orig.Predict(m), loaded.Predict(m); a != b {
+			t.Fatalf("map %d: reloaded Predict = %d, want %d (must be bit-identical)", i, b, a)
+		}
+	}
+	// A second round trip is byte-stable (no hidden state drift).
+	data2, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("second serialization differs from first")
+	}
+}
+
+func TestHDCWaferUnmarshalValidation(t *testing.T) {
+	if err := json.Unmarshal([]byte(`{"encoder":{"dim":512,"size":16,"seed":1},"epochs":5}`),
+		&HDCWaferClassifier{}); err == nil {
+		t.Error("missing classifier state must fail")
+	}
+	bad := `{"encoder":{"dim":512,"size":16,"seed":1},"epochs":5,` +
+		`"classifier":{"dim":256,"n_classes":1,"mode":0,"counts":[[]],"adds":[0]}}`
+	if err := json.Unmarshal([]byte(bad), &HDCWaferClassifier{}); err == nil {
+		t.Error("encoder/classifier dim mismatch must fail")
+	}
+	if err := (&HDCWaferClassifier{}).UnmarshalJSON([]byte(`{`)); err == nil {
+		t.Error("truncated JSON must fail")
+	}
+	if _, err := json.Marshal(&HDCWaferClassifier{}); err == nil {
+		t.Error("serializing an unbuilt classifier must fail")
+	}
+}

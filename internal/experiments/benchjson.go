@@ -19,12 +19,12 @@ import (
 // engine is tracked across PRs in machine-readable form.
 type FaultSimBenchRow struct {
 	Circuit      string  `json:"circuit"`
-	Gates        int     `json:"gates"`    // logic gates (excluding PIs)
-	Faults       int     `json:"faults"`   // collapsed fault universe
-	Patterns     int     `json:"patterns"` // random patterns simulated
-	PPSFPMs      float64 `json:"ppsfp_ms"`           // event-driven 64-way run, one goroutine
-	ConcurrentMs float64 `json:"concurrent_ms"`      // fault shards across workers
-	DictMs       float64 `json:"dictionary_ms"`      // full-signature dictionary (word-sharded)
+	Gates        int     `json:"gates"`               // logic gates (excluding PIs)
+	Faults       int     `json:"faults"`              // collapsed fault universe
+	Patterns     int     `json:"patterns"`            // random patterns simulated
+	PPSFPMs      float64 `json:"ppsfp_ms"`            // event-driven 64-way run, one goroutine
+	ConcurrentMs float64 `json:"concurrent_ms"`       // fault shards across workers
+	DictMs       float64 `json:"dictionary_ms"`       // full-signature dictionary (word-sharded)
 	SerialMs     float64 `json:"serial_ms,omitempty"` // one-pattern baseline; omitted where prohibitive
 	Speedup      float64 `json:"speedup,omitempty"`   // serial / ppsfp
 	Coverage     float64 `json:"coverage"`
@@ -124,11 +124,11 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 		}
 		row := FaultSimBenchRow{
 			Circuit: c.Name, Gates: c.NumLogicGates(), Faults: len(faults),
-			Patterns: patterns,
-			PPSFPMs:  float64(ppsfp) / float64(time.Millisecond),
+			Patterns:     patterns,
+			PPSFPMs:      float64(ppsfp) / float64(time.Millisecond),
 			ConcurrentMs: float64(conc) / float64(time.Millisecond),
-			DictMs:   float64(dict) / float64(time.Millisecond),
-			Coverage: rp.Coverage,
+			DictMs:       float64(dict) / float64(time.Millisecond),
+			Coverage:     rp.Coverage,
 			MPatFaultsPS: float64(len(faults)) * float64(patterns) / ppsfp.Seconds() / 1e6,
 		}
 		if gates <= serialBaselineLimit {

@@ -315,6 +315,10 @@ func (c *Classifier) rebuild() {
 // Predict returns the best-matching class: minimum Hamming distance to the
 // binarized prototype in ModeBinary, maximum cosine similarity against the
 // integer accumulator in ModeInteger.
+//
+// Predict only reads the trained state, so any number of goroutines may
+// call it concurrently on one fitted classifier (the serving hot path) as
+// long as no Train/Retrain/UnmarshalJSON runs at the same time.
 func (c *Classifier) Predict(h HV) int {
 	if c.Mode == ModeBinary {
 		best, bestD := 0, 1<<62

@@ -1,0 +1,68 @@
+package hdc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// classifierJSON is the wire form of a trained Classifier, the payload
+// embedded in itr-model/v1 artifacts. The integer accumulators are the
+// complete training state: prototypes and norms are derived on load, so a
+// deserialized classifier is bit-identical to the original in both modes
+// and can even keep retraining.
+type classifierJSON struct {
+	Dim      int       `json:"dim"`
+	NClasses int       `json:"n_classes"`
+	Mode     Mode      `json:"mode"`
+	Counts   [][]int32 `json:"counts"` // per-class accumulator votes, len Dim each
+	Adds     []int     `json:"adds"`   // per-class Add operation counts
+}
+
+// MarshalJSON serializes the full training state (Save half of the model
+// registry contract).
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	w := classifierJSON{
+		Dim:      c.Dim,
+		NClasses: c.NClasses,
+		Mode:     c.Mode,
+		Counts:   make([][]int32, c.NClasses),
+		Adds:     make([]int, c.NClasses),
+	}
+	for i, b := range c.acc {
+		w.Counts[i] = b.counts
+		w.Adds[i] = b.n
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a classifier saved by MarshalJSON, rebuilding the
+// derived prototypes and norms (Load half of the registry contract).
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var w classifierJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("hdc: decode classifier: %w", err)
+	}
+	if w.Dim < 1 || w.NClasses < 1 {
+		return fmt.Errorf("hdc: invalid classifier dims %dx%d", w.Dim, w.NClasses)
+	}
+	if len(w.Counts) != w.NClasses || len(w.Adds) != w.NClasses {
+		return fmt.Errorf("hdc: %d count rows / %d add counts for %d classes",
+			len(w.Counts), len(w.Adds), w.NClasses)
+	}
+	if w.Mode != ModeInteger && w.Mode != ModeBinary {
+		return fmt.Errorf("hdc: unknown mode %d", w.Mode)
+	}
+	acc := make([]*Bundler, w.NClasses)
+	for i, counts := range w.Counts {
+		if len(counts) != w.Dim {
+			return fmt.Errorf("hdc: class %d has %d counts for dim %d", i, len(counts), w.Dim)
+		}
+		if w.Adds[i] < 0 {
+			return fmt.Errorf("hdc: class %d has negative add count %d", i, w.Adds[i])
+		}
+		acc[i] = &Bundler{Dim: w.Dim, counts: counts, n: w.Adds[i]}
+	}
+	c.Dim, c.NClasses, c.Mode, c.acc = w.Dim, w.NClasses, w.Mode, acc
+	c.rebuild()
+	return nil
+}

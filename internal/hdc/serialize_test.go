@@ -1,0 +1,120 @@
+package hdc
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// trainToy builds a small fitted classifier over random class clusters.
+func trainToy(t testing.TB, mode Mode) (*Classifier, []HV) {
+	t.Helper()
+	const (
+		dim      = 512
+		nClasses = 4
+		perClass = 12
+	)
+	rng := rand.New(rand.NewSource(5))
+	centers := make([]HV, nClasses)
+	for i := range centers {
+		centers[i] = RandHV(dim, rng)
+	}
+	var enc []HV
+	var labels []int
+	for c := 0; c < nClasses; c++ {
+		for k := 0; k < perClass; k++ {
+			h := centers[c].Clone()
+			// Flip a few bits to create intra-class variation.
+			for f := 0; f < dim/16; f++ {
+				i := rng.Intn(dim)
+				h.SetBit(i, !h.Bit(i))
+			}
+			enc = append(enc, h)
+			labels = append(labels, c)
+		}
+	}
+	cls := NewClassifier(dim, nClasses)
+	cls.Mode = mode
+	if err := cls.Train(enc, labels); err != nil {
+		t.Fatal(err)
+	}
+	cls.Retrain(enc, labels, 5)
+	return cls, enc
+}
+
+// TestClassifierSerializeRoundTrip pins the registry contract: a reloaded
+// classifier predicts bit-identically in both similarity modes and can
+// keep retraining.
+func TestClassifierSerializeRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeInteger, ModeBinary} {
+		cls, enc := trainToy(t, mode)
+		data, err := json.Marshal(cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := &Classifier{}
+		if err := json.Unmarshal(data, loaded); err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Dim != cls.Dim || loaded.NClasses != cls.NClasses || loaded.Mode != mode {
+			t.Fatalf("mode %v: reloaded header %d/%d/%v", mode, loaded.Dim, loaded.NClasses, loaded.Mode)
+		}
+		for i, h := range enc {
+			if a, b := cls.Predict(h), loaded.Predict(h); a != b {
+				t.Fatalf("mode %v: reloaded Predict(%d) = %d, want %d", mode, i, b, a)
+			}
+		}
+		// The accumulators survived, so retraining still works.
+		loaded.Retrain(enc[:4], []int{0, 0, 0, 0}, 1)
+	}
+}
+
+func TestClassifierUnmarshalValidation(t *testing.T) {
+	for name, bad := range map[string]string{
+		"zero dim":     `{"dim":0,"n_classes":2,"mode":0,"counts":[[],[]],"adds":[0,0]}`,
+		"row mismatch": `{"dim":2,"n_classes":2,"mode":0,"counts":[[1,2]],"adds":[1]}`,
+		"short counts": `{"dim":3,"n_classes":1,"mode":0,"counts":[[1,2]],"adds":[1]}`,
+		"bad mode":     `{"dim":2,"n_classes":1,"mode":9,"counts":[[1,2]],"adds":[1]}`,
+		"negative n":   `{"dim":2,"n_classes":1,"mode":0,"counts":[[1,2]],"adds":[-1]}`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &Classifier{}); err == nil {
+			t.Errorf("%s: expected unmarshal error", name)
+		}
+	}
+}
+
+// TestPredictConcurrent hammers one fitted classifier from 8 goroutines
+// under the race detector: Predict is documented safe for concurrent
+// readers (the serving hot path shares one model across handlers).
+func TestPredictConcurrent(t *testing.T) {
+	for _, mode := range []Mode{ModeInteger, ModeBinary} {
+		cls, enc := trainToy(t, mode)
+		want := make([]int, len(enc))
+		for i, h := range enc {
+			want[i] = cls.Predict(h)
+		}
+		var wg sync.WaitGroup
+		mismatch := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, h := range enc {
+					if got := cls.Predict(h); got != want[i] {
+						select {
+						case mismatch <- "concurrent Predict diverged from serial":
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(mismatch)
+		for m := range mismatch {
+			t.Error(m)
+		}
+	}
+}

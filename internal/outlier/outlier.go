@@ -96,6 +96,11 @@ func Synthesize(cfg LotConfig, seed int64) *Lot {
 
 // Scorer assigns an outlier score (higher = more anomalous) after fitting a
 // reference population.
+//
+// Concurrency contract: Score on every implementation in this package is a
+// pure read of the fitted state, so one fitted scorer may serve any number
+// of concurrent Score calls (the itrserve hot path) as long as no
+// Fit/UnmarshalJSON runs at the same time.
 type Scorer interface {
 	Fit(ref [][]float64) error
 	Score(x []float64) float64
@@ -315,9 +320,15 @@ type Point struct {
 
 // Sweep scores every device and sweeps the decision threshold over the
 // observed score range, returning the escape/overkill curve (figure F3).
+// Degenerate lots stay well-defined: an empty input yields an empty curve,
+// all-pass (or all-defective) lots report a zero escape (or overkill) rate
+// at every threshold, and fully tied scores collapse to identical points.
 func Sweep(scores []float64, defective []bool, nPoints int) []Point {
 	if len(scores) != len(defective) {
 		panic(fmt.Sprintf("outlier: %d scores for %d labels", len(scores), len(defective)))
+	}
+	if len(scores) == 0 {
+		return nil
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	nDef, nOK := 0, 0
@@ -364,7 +375,9 @@ func Sweep(scores []float64, defective []bool, nPoints int) []Point {
 
 // AUC returns the area under the ROC curve of the scores against the
 // defect labels (probability a random defective scores above a random
-// healthy device; ties count half).
+// healthy device; ties count half). Degenerate lots with only one class
+// present (all-pass, all-defective, or empty) carry no ranking information
+// and return the chance level 0.5 rather than NaN.
 func AUC(scores []float64, defective []bool) float64 {
 	var pos, neg []float64
 	for i, s := range scores {
@@ -375,7 +388,7 @@ func AUC(scores []float64, defective []bool) float64 {
 		}
 	}
 	if len(pos) == 0 || len(neg) == 0 {
-		return math.NaN()
+		return 0.5
 	}
 	wins := 0.0
 	for _, p := range pos {

@@ -1,7 +1,9 @@
 package outlier
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -142,9 +144,15 @@ func TestAUCProperties(t *testing.T) {
 	if auc := AUC([]float64{5, 5}, []bool{false, true}); auc != 0.5 {
 		t.Errorf("tied AUC = %f", auc)
 	}
-	// Degenerate labels.
-	if auc := AUC([]float64{1, 2}, []bool{false, false}); !math.IsNaN(auc) {
-		t.Errorf("degenerate AUC = %f", auc)
+	// Degenerate lots carry no ranking information: chance level, not NaN.
+	if auc := AUC([]float64{1, 2}, []bool{false, false}); auc != 0.5 {
+		t.Errorf("all-pass AUC = %f, want 0.5", auc)
+	}
+	if auc := AUC([]float64{1, 2}, []bool{true, true}); auc != 0.5 {
+		t.Errorf("all-defective AUC = %f, want 0.5", auc)
+	}
+	if auc := AUC(nil, nil); auc != 0.5 {
+		t.Errorf("empty AUC = %f, want 0.5", auc)
 	}
 }
 
@@ -226,5 +234,136 @@ func TestPCAResidualScreen(t *testing.T) {
 	}
 	if err := (&PCAResidual{}).Fit(nil); err == nil {
 		t.Error("empty reference must fail")
+	}
+}
+
+func TestSweepEdgeCases(t *testing.T) {
+	// Empty input: empty curve, no NaN thresholds.
+	if pts := Sweep(nil, nil, 10); len(pts) != 0 {
+		t.Errorf("empty Sweep returned %d points", len(pts))
+	}
+	// All-pass lot: escape rate is identically zero and overkill well-defined.
+	scores := []float64{1, 2, 3, 4}
+	for _, p := range Sweep(scores, []bool{false, false, false, false}, 5) {
+		if p.EscapeRate != 0 {
+			t.Errorf("all-pass escape rate = %f at threshold %f", p.EscapeRate, p.Threshold)
+		}
+		if math.IsNaN(p.OverkillRate) || math.IsNaN(p.Threshold) {
+			t.Errorf("all-pass point has NaN: %+v", p)
+		}
+	}
+	// All-defective lot: overkill identically zero.
+	for _, p := range Sweep(scores, []bool{true, true, true, true}, 5) {
+		if p.OverkillRate != 0 {
+			t.Errorf("all-defective overkill = %f at threshold %f", p.OverkillRate, p.Threshold)
+		}
+		if math.IsNaN(p.EscapeRate) || math.IsNaN(p.Threshold) {
+			t.Errorf("all-defective point has NaN: %+v", p)
+		}
+	}
+	// Fully tied scores: the threshold range collapses but every point
+	// stays finite and consistent.
+	pts := Sweep([]float64{2, 2, 2}, []bool{true, false, true}, 4)
+	if len(pts) != 4 {
+		t.Fatalf("tied Sweep returned %d points, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Threshold != 2 {
+			t.Errorf("tied threshold = %f, want 2", p.Threshold)
+		}
+		// No score exceeds the threshold, so nothing is rejected.
+		if p.EscapeRate != 1 || p.OverkillRate != 0 {
+			t.Errorf("tied point = %+v, want escape 1 / overkill 0", p)
+		}
+	}
+}
+
+// TestScoreConcurrent hammers every fitted scorer from 8 goroutines under
+// the race detector: Score is documented safe for concurrent readers (the
+// itrserve handlers share one fitted model).
+func TestScoreConcurrent(t *testing.T) {
+	lot := Synthesize(LotConfig{
+		Devices: 300, Tests: 8, Factors: 3,
+		DefectRate: 0.05, DefectMag: 2, DefectLoc: 2, NoiseSigma: 0.3,
+	}, 11)
+	scorers := map[string]Scorer{
+		"zscore":      &ZScorePAT{},
+		"mahalanobis": &Mahalanobis{},
+		"knn":         &KNNOutlier{K: 5},
+		"pca":         &PCAResidual{},
+	}
+	for name, s := range scorers {
+		if err := s.Fit(lot.X); err != nil {
+			t.Fatalf("%s fit: %v", name, err)
+		}
+		want := ScoreAll(s, lot.X)
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, x := range lot.X {
+					if got := s.Score(x); got != want[i] {
+						select {
+						case errs <- fmt.Sprintf("%s: concurrent Score(%d) = %v, want %v", name, i, got, want[i]):
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Error(e)
+		}
+	}
+}
+
+// TestScorerSerializeRoundTrip saves and reloads each serializable scorer
+// and asserts bit-identical scores — the registry's model-artifact
+// contract.
+func TestScorerSerializeRoundTrip(t *testing.T) {
+	lot := Synthesize(LotConfig{
+		Devices: 200, Tests: 6, Factors: 2,
+		DefectRate: 0.05, DefectMag: 2, DefectLoc: 2, NoiseSigma: 0.3,
+	}, 3)
+	for _, s := range []Scorer{&ZScorePAT{}, &Mahalanobis{}, &KNNOutlier{K: 7}} {
+		method := MethodOf(s)
+		if err := s.Fit(lot.X); err != nil {
+			t.Fatalf("%s fit: %v", method, err)
+		}
+		data, err := SaveScorer(s)
+		if err != nil {
+			t.Fatalf("%s save: %v", method, err)
+		}
+		loaded, err := LoadScorer(data)
+		if err != nil {
+			t.Fatalf("%s load: %v", method, err)
+		}
+		if got := MethodOf(loaded); got != method {
+			t.Errorf("round trip changed method %q -> %q", method, got)
+		}
+		for i, x := range lot.X {
+			if a, b := s.Score(x), loaded.Score(x); a != b {
+				t.Fatalf("%s: reloaded Score(%d) = %v, want %v (must be bit-identical)", method, i, b, a)
+			}
+		}
+	}
+	// PCAResidual has no serialized form.
+	if _, err := SaveScorer(&PCAResidual{}); err == nil {
+		t.Error("SaveScorer(PCAResidual) must fail")
+	}
+	// Corrupt envelopes are rejected.
+	if _, err := LoadScorer([]byte(`{"method":"nope","state":{}}`)); err == nil {
+		t.Error("unknown method must fail to load")
+	}
+	if _, err := LoadScorer([]byte(`{"method":"knn","state":{"k":0,"ref":[[1]]}}`)); err == nil {
+		t.Error("invalid knn state must fail to load")
+	}
+	if _, err := LoadScorer([]byte(`{"method":"zscore-pat","state":{"med":[0],"mad":[0]}}`)); err == nil {
+		t.Error("non-positive MAD must fail to load")
 	}
 }

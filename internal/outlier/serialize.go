@@ -1,0 +1,160 @@
+package outlier
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Scorer method names used in serialized artifacts (itr-model/v1).
+const (
+	MethodZScorePAT   = "zscore-pat"
+	MethodMahalanobis = "mahalanobis"
+	MethodKNN         = "knn"
+)
+
+// MethodOf returns the artifact method name of a scorer, or "" for scorers
+// without a serialized form (e.g. PCAResidual, which is refit-only).
+func MethodOf(s Scorer) string {
+	switch s.(type) {
+	case *ZScorePAT:
+		return MethodZScorePAT
+	case *Mahalanobis:
+		return MethodMahalanobis
+	case *KNNOutlier:
+		return MethodKNN
+	}
+	return ""
+}
+
+// scorerEnvelope tags a serialized scorer with its method so LoadScorer can
+// reconstruct the right implementation.
+type scorerEnvelope struct {
+	Method string          `json:"method"`
+	State  json.RawMessage `json:"state"`
+}
+
+// SaveScorer serializes a fitted scorer (one of the three PAT screens) into
+// a self-describing JSON envelope.
+func SaveScorer(s Scorer) ([]byte, error) {
+	method := MethodOf(s)
+	if method == "" {
+		return nil, fmt.Errorf("outlier: scorer %T has no serialized form", s)
+	}
+	state, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: encode %s: %w", method, err)
+	}
+	return json.Marshal(scorerEnvelope{Method: method, State: state})
+}
+
+// LoadScorer reconstructs a fitted scorer from a SaveScorer envelope.
+func LoadScorer(data []byte) (Scorer, error) {
+	var env scorerEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("outlier: decode scorer envelope: %w", err)
+	}
+	var s Scorer
+	switch env.Method {
+	case MethodZScorePAT:
+		s = &ZScorePAT{}
+	case MethodMahalanobis:
+		s = &Mahalanobis{}
+	case MethodKNN:
+		s = &KNNOutlier{}
+	default:
+		return nil, fmt.Errorf("outlier: unknown scorer method %q", env.Method)
+	}
+	if err := json.Unmarshal(env.State, s); err != nil {
+		return nil, fmt.Errorf("outlier: decode %s state: %w", env.Method, err)
+	}
+	return s, nil
+}
+
+type zscoreJSON struct {
+	Med []float64 `json:"med"`
+	MAD []float64 `json:"mad"`
+}
+
+// MarshalJSON serializes the fitted robust location/scale estimates.
+func (s *ZScorePAT) MarshalJSON() ([]byte, error) {
+	return json.Marshal(zscoreJSON{Med: s.med, MAD: s.mad})
+}
+
+// UnmarshalJSON restores a fitted ZScorePAT.
+func (s *ZScorePAT) UnmarshalJSON(data []byte) error {
+	var w zscoreJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Med) == 0 || len(w.Med) != len(w.MAD) {
+		return fmt.Errorf("outlier: zscore state %d medians / %d MADs", len(w.Med), len(w.MAD))
+	}
+	for t, m := range w.MAD {
+		if !(m > 0) {
+			return fmt.Errorf("outlier: zscore MAD[%d] = %g not positive", t, m)
+		}
+	}
+	s.med, s.mad = w.Med, w.MAD
+	return nil
+}
+
+type mahalanobisJSON struct {
+	Mean []float64   `json:"mean"`
+	Inv  [][]float64 `json:"inv"`
+}
+
+// MarshalJSON serializes the fitted mean and inverse covariance.
+func (s *Mahalanobis) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mahalanobisJSON{Mean: s.mean, Inv: s.inv})
+}
+
+// UnmarshalJSON restores a fitted Mahalanobis scorer.
+func (s *Mahalanobis) UnmarshalJSON(data []byte) error {
+	var w mahalanobisJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	d := len(w.Mean)
+	if d == 0 || len(w.Inv) != d {
+		return fmt.Errorf("outlier: mahalanobis state dim %d with %d inverse rows", d, len(w.Inv))
+	}
+	for i, row := range w.Inv {
+		if len(row) != d {
+			return fmt.Errorf("outlier: mahalanobis inverse row %d has %d cols for dim %d", i, len(row), d)
+		}
+	}
+	s.mean, s.inv = w.Mean, w.Inv
+	return nil
+}
+
+type knnJSON struct {
+	K   int         `json:"k"`
+	Ref [][]float64 `json:"ref"`
+}
+
+// MarshalJSON serializes the neighbor count and memorized reference lot.
+func (s *KNNOutlier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(knnJSON{K: s.K, Ref: s.ref})
+}
+
+// UnmarshalJSON restores a fitted KNNOutlier.
+func (s *KNNOutlier) UnmarshalJSON(data []byte) error {
+	var w knnJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Ref) == 0 {
+		return fmt.Errorf("outlier: knn state has empty reference")
+	}
+	if w.K < 1 || w.K > len(w.Ref) {
+		return fmt.Errorf("outlier: knn state k=%d for %d reference devices", w.K, len(w.Ref))
+	}
+	d := len(w.Ref[0])
+	for i, row := range w.Ref {
+		if len(row) != d {
+			return fmt.Errorf("outlier: knn reference row %d has %d tests, row 0 has %d", i, len(row), d)
+		}
+	}
+	s.K, s.ref = w.K, w.Ref
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package serve is the online inference layer of the repository: it loads
+// trained test-and-reliability models (HDC wafer-map classifiers, outlier
+// screens) as versioned artifacts into an atomically hot-swappable
+// registry, coalesces concurrent HTTP requests into micro-batches executed
+// over the shared worker pool, and exposes the whole thing behind stdlib
+// net/http with expvar metrics, pprof, structured logging, per-request
+// timeouts, load shedding, and graceful drain — the "deployment artifact"
+// half of the survey's ML-for-test story, where itrbench/itrwafer are the
+// offline training half.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Schema is the artifact envelope version. Every model file produced by
+// this repository carries it; loaders reject anything else.
+const Schema = "itr-model/v1"
+
+// Artifact kinds: which serving slot a model file fills.
+const (
+	// KindWaferHDC is a trained HDC wafer-map classifier
+	// (payload: core.HDCWaferClassifier).
+	KindWaferHDC = "wafer-hdc"
+	// KindOutlierScreen is a fitted, threshold-calibrated outlier scorer
+	// (payload: OutlierPayload).
+	KindOutlierScreen = "outlier-screen"
+)
+
+// Artifact is the itr-model/v1 envelope: self-describing metadata around a
+// kind-specific JSON payload.
+type Artifact struct {
+	Schema      string          `json:"schema"`
+	Kind        string          `json:"kind"`
+	Name        string          `json:"name"`
+	Version     int             `json:"version"`
+	CreatedUnix int64           `json:"created_unix,omitempty"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// NewArtifact wraps a payload value into a validated envelope.
+func NewArtifact(kind, name string, version int, payload any) (*Artifact, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode %s payload: %w", kind, err)
+	}
+	a := &Artifact{Schema: Schema, Kind: kind, Name: name, Version: version, Payload: raw}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Validate checks the envelope invariants (schema, known kind, positive
+// version, non-empty payload).
+func (a *Artifact) Validate() error {
+	if a.Schema != Schema {
+		return fmt.Errorf("serve: artifact schema %q, want %q", a.Schema, Schema)
+	}
+	switch a.Kind {
+	case KindWaferHDC, KindOutlierScreen:
+	default:
+		return fmt.Errorf("serve: unknown artifact kind %q", a.Kind)
+	}
+	if a.Version < 1 {
+		return fmt.Errorf("serve: artifact version %d, want >= 1", a.Version)
+	}
+	if len(a.Payload) == 0 {
+		return fmt.Errorf("serve: artifact %s/%s has empty payload", a.Kind, a.Name)
+	}
+	return nil
+}
+
+// ReadArtifact loads and validates an artifact file.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("serve: decode artifact %s: %w", path, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return &a, nil
+}
+
+// WriteFile atomically writes the artifact (temp file + rename), so a
+// concurrently re-scanning server never observes a half-written model.
+func (a *Artifact) WriteFile(path string) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(a, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".itr-model-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// OutlierPayload is the payload of KindOutlierScreen artifacts: a fitted
+// scorer (outlier.SaveScorer envelope) plus its calibrated operating
+// thresholds from the F3 escape-vs-overkill machinery.
+type OutlierPayload struct {
+	Method string          `json:"method"` // display name, e.g. "mahalanobis"
+	Tests  int             `json:"tests"`  // measurement-vector length
+	Scorer json.RawMessage `json:"scorer"`
+	// RejectThreshold is the stop/bin-out score, calibrated so healthy
+	// overkill stays within the reject budget.
+	RejectThreshold float64 `json:"reject_threshold"`
+	// RetestThreshold < RejectThreshold marks the marginal band: devices
+	// scoring inside [retest, reject) are re-measured instead of binned.
+	RetestThreshold float64 `json:"retest_threshold"`
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalesces proves the point of micro-batching: concurrent
+// submissions arrive at fn in batches, every caller still gets its own
+// correct result.
+func TestBatcherCoalesces(t *testing.T) {
+	var batches atomic.Int64
+	b := NewBatcher(8, 64, 20*time.Millisecond, func(xs []int) []int {
+		batches.Add(1)
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = 2 * x
+		}
+		return out
+	})
+	defer b.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := b.Do(context.Background(), i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != 2*i {
+				errs <- errors.New("wrong batched result")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := batches.Load(); got >= n {
+		t.Errorf("%d batches for %d items: no coalescing happened", got, n)
+	}
+	nb, items, maxSeen, rejected := b.Stats()
+	if items != n || nb != batches.Load() || maxSeen < 2 || rejected != 0 {
+		t.Errorf("stats = %d batches / %d items / max %d / %d rejected", nb, items, maxSeen, rejected)
+	}
+}
+
+// TestBatcherQueueFull pins the load-shedding contract: a saturated queue
+// fails fast with ErrQueueFull instead of blocking.
+func TestBatcherQueueFull(t *testing.T) {
+	started := make(chan struct{}, 4)
+	block := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(block) }) }
+	b := NewBatcher(1, 1, time.Millisecond, func(xs []int) []int {
+		select {
+		case started <- struct{}{}:
+		default: // drained batches after the test body must not block
+		}
+		<-block
+		return xs
+	})
+	t.Cleanup(func() { unblock(); b.Close() })
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); b.Do(context.Background(), 1) }() //nolint:errcheck
+	<-started                                                      // worker is now stuck in fn
+	go func() { defer wg.Done(); b.Do(context.Background(), 2) }() //nolint:errcheck
+	// Wait for item 2 to occupy the single queue slot, then the next
+	// submission must shed immediately.
+	deadline := time.After(2 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		_, err := b.Do(ctx, 3)
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("never observed ErrQueueFull")
+		default:
+		}
+	}
+	_, _, _, rejected := b.Stats()
+	if rejected < 1 {
+		t.Error("rejected counter not incremented")
+	}
+	unblock()
+	wg.Wait()
+}
+
+// TestBatcherCloseDrains pins graceful shutdown: everything admitted
+// before Close still gets its answer.
+func TestBatcherCloseDrains(t *testing.T) {
+	started := make(chan struct{}, 1)
+	block := make(chan struct{})
+	first := true
+	// maxBatch 1 so the first lone item flushes immediately; fn runs on the
+	// single worker goroutine, so `first` needs no synchronization.
+	b := NewBatcher(1, 64, time.Millisecond, func(xs []int) []int {
+		if first { // only the first batch blocks; drained batches run free
+			first = false
+			started <- struct{}{}
+			<-block
+		}
+		return xs
+	})
+	const n = 10
+	var wg sync.WaitGroup
+	var answered atomic.Int64
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got, err := b.Do(context.Background(), i); err == nil && got == i {
+				answered.Add(1)
+			}
+		}()
+	}
+	submit(0)
+	<-started // worker is stuck in the first batch
+	for i := 1; i <= n; i++ {
+		submit(i)
+	}
+	// The queue is same-package visible: wait until all n items sit in it.
+	for deadline := time.After(2 * time.Second); len(b.queue) < n; {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d items enqueued", len(b.queue), n)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(block)
+	b.Close() // must drain all n queued items through fn
+	wg.Wait()
+	if got := answered.Load(); got != n+1 {
+		t.Errorf("answered %d of %d requests across Close", got, n+1)
+	}
+	if _, err := b.Do(context.Background(), 99); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("Do after Close = %v, want ErrBatcherClosed", err)
+	}
+}
+
+// TestBatcherContextCancel: a caller whose context dies before the flush
+// gets the context error, and the batch skips its work item.
+func TestBatcherContextCancel(t *testing.T) {
+	var executed atomic.Int64
+	b := NewBatcher(8, 8, 100*time.Millisecond, func(xs []int) []int {
+		executed.Add(int64(len(xs)))
+		return xs
+	})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Do(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	b.Close() // force the pending flush
+	if got := executed.Load(); got != 0 {
+		t.Errorf("cancelled item still executed (%d)", got)
+	}
+}

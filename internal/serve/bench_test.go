@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/wafer"
+)
+
+// BenchmarkServeWaferClassify quantifies the serving overhead: a direct
+// library Predict against the full HTTP path (JSON decode, micro-batching,
+// metrics, JSON encode). The batched path amortizes per-call overhead under
+// parallel load, which is exactly the tradeoff the micro-batcher buys.
+func BenchmarkServeWaferClassify(b *testing.B) {
+	w1, _, o1 := testArtifacts(b)
+	reg := NewRegistry()
+	if _, err := reg.Install(w1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Install(o1); err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Registry: reg, RequestTimeout: time.Minute})
+	defer s.Close()
+
+	wcfg := wafer.DefaultConfig()
+	wcfg.Size = testCfg.GridSize
+	m := test1Map(wcfg)
+	body, err := json.Marshal(WaferClassifyRequest{Cells: cellsOf(m)})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		cls := reg.Wafer().Cls
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				cls.Predict(m)
+			}
+		})
+	})
+
+	b.Run("batched-http", func(b *testing.B) {
+		h := s.Handler()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", epWaferClassify, bytes.NewReader(body)))
+				if rec.Code != http.StatusOK {
+					b.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		})
+	})
+}

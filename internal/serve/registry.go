@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/outlier"
+)
+
+// ModelMeta identifies one installed model version.
+type ModelMeta struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+}
+
+// WaferModel is an installed wafer-map classifier.
+type WaferModel struct {
+	Meta ModelMeta
+	Cls  *core.HDCWaferClassifier
+}
+
+// OutlierModel is an installed outlier screen with calibrated thresholds.
+type OutlierModel struct {
+	Meta            ModelMeta
+	Method          string
+	Tests           int
+	Scorer          outlier.Scorer
+	RejectThreshold float64
+	RetestThreshold float64
+}
+
+// Registry holds the live model for each serving slot. Slots are
+// atomic.Pointers, so installs are lock-free hot swaps: requests in flight
+// keep the model they started with, new requests see the new version, and
+// no request ever observes a half-installed model.
+type Registry struct {
+	wafer   atomic.Pointer[WaferModel]
+	outlier atomic.Pointer[OutlierModel]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Wafer returns the live wafer classifier, or nil if none is installed.
+func (r *Registry) Wafer() *WaferModel { return r.wafer.Load() }
+
+// Outlier returns the live outlier screen, or nil if none is installed.
+func (r *Registry) Outlier() *OutlierModel { return r.outlier.Load() }
+
+// Ready reports whether every serving slot has a model.
+func (r *Registry) Ready() bool { return r.Wafer() != nil && r.Outlier() != nil }
+
+// Models lists the installed model versions (stable order by kind).
+func (r *Registry) Models() []ModelMeta {
+	var out []ModelMeta
+	if m := r.Outlier(); m != nil {
+		out = append(out, m.Meta)
+	}
+	if m := r.Wafer(); m != nil {
+		out = append(out, m.Meta)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Install decodes an artifact and atomically swaps it into its slot,
+// returning the metadata of the model it replaced (zero ModelMeta if the
+// slot was empty). Downgrades are rejected: an artifact with a version
+// lower than the live one leaves the registry untouched.
+func (r *Registry) Install(a *Artifact) (prev ModelMeta, err error) {
+	if err := a.Validate(); err != nil {
+		return ModelMeta{}, err
+	}
+	meta := ModelMeta{Kind: a.Kind, Name: a.Name, Version: a.Version}
+	switch a.Kind {
+	case KindWaferHDC:
+		cls := &core.HDCWaferClassifier{}
+		if err := json.Unmarshal(a.Payload, cls); err != nil {
+			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
+		}
+		m := &WaferModel{Meta: meta, Cls: cls}
+		for {
+			old := r.wafer.Load()
+			if old != nil && old.Meta.Version > meta.Version {
+				return old.Meta, fmt.Errorf("serve: refusing downgrade of %s from v%d to v%d",
+					a.Kind, old.Meta.Version, meta.Version)
+			}
+			if r.wafer.CompareAndSwap(old, m) {
+				if old != nil {
+					prev = old.Meta
+				}
+				return prev, nil
+			}
+		}
+	case KindOutlierScreen:
+		var p OutlierPayload
+		if err := json.Unmarshal(a.Payload, &p); err != nil {
+			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
+		}
+		s, err := outlier.LoadScorer(p.Scorer)
+		if err != nil {
+			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
+		}
+		if p.Tests < 1 {
+			return ModelMeta{}, fmt.Errorf("serve: outlier artifact declares %d tests", p.Tests)
+		}
+		if p.RetestThreshold > p.RejectThreshold {
+			return ModelMeta{}, fmt.Errorf("serve: retest threshold %g above reject threshold %g",
+				p.RetestThreshold, p.RejectThreshold)
+		}
+		m := &OutlierModel{
+			Meta: meta, Method: p.Method, Tests: p.Tests, Scorer: s,
+			RejectThreshold: p.RejectThreshold, RetestThreshold: p.RetestThreshold,
+		}
+		for {
+			old := r.outlier.Load()
+			if old != nil && old.Meta.Version > meta.Version {
+				return old.Meta, fmt.Errorf("serve: refusing downgrade of %s from v%d to v%d",
+					a.Kind, old.Meta.Version, meta.Version)
+			}
+			if r.outlier.CompareAndSwap(old, m) {
+				if old != nil {
+					prev = old.Meta
+				}
+				return prev, nil
+			}
+		}
+	}
+	return ModelMeta{}, fmt.Errorf("serve: unknown artifact kind %q", a.Kind)
+}
+
+// LoadDir installs the newest version of every kind found among the
+// "*.json" artifacts under dir. Older files may stay in the directory:
+// only the per-kind maximum is installed, so a SIGHUP rescan over an
+// unchanged directory is an idempotent no-op rather than a downgrade
+// error. It returns how many models were installed.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	newest := map[string]*Artifact{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		a, err := ReadArtifact(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, err
+		}
+		if best := newest[a.Kind]; best == nil || a.Version > best.Version {
+			newest[a.Kind] = a
+		}
+	}
+	// Deterministic install order for logs and error attribution.
+	kinds := make([]string, 0, len(newest))
+	for k := range newest {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	n := 0
+	for _, k := range kinds {
+		if _, err := r.Install(newest[k]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

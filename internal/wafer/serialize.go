@@ -1,0 +1,31 @@
+package wafer
+
+import "fmt"
+
+// EncoderConfig is the serializable description of an Encoder. The encoder
+// is fully deterministic in (Dim, Size, Seed) — all position and marker
+// hypervectors are regenerated from the seed — so trained-model artifacts
+// store only this config instead of megabytes of basis vectors, and a
+// rebuilt encoder is bit-identical to the one used at training time.
+type EncoderConfig struct {
+	Dim  int   `json:"dim"`
+	Size int   `json:"size"`
+	Seed int64 `json:"seed"`
+}
+
+// Config returns the encoder's rebuild recipe.
+func (e *Encoder) Config() EncoderConfig {
+	return EncoderConfig{Dim: e.Dim, Size: e.size, Seed: e.seed}
+}
+
+// NewEncoderFromConfig deterministically rebuilds an encoder from a saved
+// config, validating the parameters first.
+func NewEncoderFromConfig(c EncoderConfig) (*Encoder, error) {
+	if c.Dim < 64 {
+		return nil, fmt.Errorf("wafer: encoder dim %d too small (need >= 64)", c.Dim)
+	}
+	if c.Size < 2 {
+		return nil, fmt.Errorf("wafer: encoder grid size %d too small (need >= 2)", c.Size)
+	}
+	return NewEncoder(c.Dim, c.Size, c.Seed), nil
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/hdc"
 )
@@ -354,6 +355,7 @@ func (d *Dataset) FeatureMatrix() [][]float64 {
 type Encoder struct {
 	Dim      int
 	size     int
+	seed     int64
 	rows     *hdc.Levels
 	cols     *hdc.Levels
 	failMark hdc.HV
@@ -363,6 +365,10 @@ type Encoder struct {
 	// Delta-encoding cache: the bundle of all-pass votes over one on-die
 	// mask. Regenerated whenever a map with a different mask arrives; all
 	// maps of one grid size share the wafer disc, so this hits every time.
+	// Guarded by mu so concurrent Encode calls (the serving hot path) stay
+	// safe; a cached bundle is never mutated after publication — refreshes
+	// install a freshly built replacement.
+	mu       sync.RWMutex
 	baseMask []bool
 	base     *hdc.Bundler
 }
@@ -379,6 +385,7 @@ func NewEncoder(dim, size int, seed int64) *Encoder {
 	e := &Encoder{
 		Dim:      dim,
 		size:     size,
+		seed:     seed,
 		rows:     hdc.NewLevels(dim, size, 0, float64(size), seed),
 		cols:     hdc.NewLevels(dim, size, 0, float64(size), seed+1),
 		failMark: marks.Get(0),
@@ -397,28 +404,19 @@ func NewEncoder(dim, size int, seed int64) *Encoder {
 }
 
 // Encode returns the map's hypervector. The map must match the encoder's
-// grid size.
+// grid size. Encode is safe for concurrent use: the shared base-bundle
+// cache is lock-protected and every call works on its own clone.
 func (e *Encoder) Encode(m *Map) hdc.HV {
 	if m.Size != e.size {
 		panic(fmt.Sprintf("wafer: encoder built for size %d, map has %d", e.size, m.Size))
 	}
-	// Refresh the all-pass base bundle when the on-die mask changes.
-	if !e.maskMatches(m) {
-		e.baseMask = make([]bool, len(m.Cells))
-		e.base = hdc.NewBundler(e.Dim)
-		for i, v := range m.Cells {
-			if v != OffDie {
-				e.baseMask[i] = true
-				e.base.Add(e.passVecs[i])
-			}
-		}
-	}
-	if e.base.N() == 0 {
+	base := e.baseFor(m)
+	if base.N() == 0 {
 		return hdc.NewHV(e.Dim) // fully off-die map: zero vector
 	}
 	// Delta from the all-pass base: swap each failing die's pass vote for
 	// a weighted fail vote.
-	b := e.base.Clone()
+	b := base.Clone()
 	for i, v := range m.Cells {
 		if v == Fail {
 			b.AddWeighted(e.passVecs[i], -1)
@@ -426,6 +424,34 @@ func (e *Encoder) Encode(m *Map) hdc.HV {
 		}
 	}
 	return b.Binarize()
+}
+
+// baseFor returns the all-pass base bundle for the map's on-die mask,
+// refreshing the cache when the mask changes. The returned bundle is
+// immutable once published, so callers may clone it outside the lock.
+func (e *Encoder) baseFor(m *Map) *hdc.Bundler {
+	e.mu.RLock()
+	if e.maskMatches(m) {
+		b := e.base
+		e.mu.RUnlock()
+		return b
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.maskMatches(m) { // refreshed by a concurrent caller
+		return e.base
+	}
+	mask := make([]bool, len(m.Cells))
+	base := hdc.NewBundler(e.Dim)
+	for i, v := range m.Cells {
+		if v != OffDie {
+			mask[i] = true
+			base.Add(e.passVecs[i])
+		}
+	}
+	e.baseMask, e.base = mask, base
+	return base
 }
 
 func (e *Encoder) maskMatches(m *Map) bool {

@@ -3,6 +3,7 @@ package wafer
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/hdc"
@@ -317,5 +318,71 @@ func TestMixedMapsClassifyAsConstituent(t *testing.T) {
 	}
 	if float64(hits)/float64(total) < 0.5 {
 		t.Errorf("only %d/%d mixed maps classified as a constituent", hits, total)
+	}
+}
+
+// TestEncodeConcurrent hammers one encoder from 8 goroutines under the
+// race detector: Encode is documented safe for concurrent use (the serving
+// hot path encodes maps of many simultaneous requests), and concurrent
+// results must stay bit-identical to serial ones.
+func TestEncodeConcurrent(t *testing.T) {
+	cfg := Config{Size: 24, Noise: 0.02, PatternP: 0.85}
+	ds := GenerateDataset(3, cfg, 9)
+	enc := NewEncoder(1024, cfg.Size, 9)
+	want := enc.EncodeAll(ds) // also warms the base-bundle cache path
+
+	// A fresh encoder exercises the concurrent cache fill too.
+	cold := NewEncoder(1024, cfg.Size, 9)
+	var wg sync.WaitGroup
+	mismatch := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, m := range ds.Maps {
+				got := cold.Encode(m)
+				for w := range got {
+					if got[w] != want[i][w] {
+						select {
+						case mismatch <- "concurrent Encode diverged from serial":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(mismatch)
+	for m := range mismatch {
+		t.Error(m)
+	}
+}
+
+// TestEncoderConfigRebuild pins the deterministic-rebuild contract used by
+// model artifacts: an encoder rebuilt from its Config encodes every map
+// bit-identically.
+func TestEncoderConfigRebuild(t *testing.T) {
+	cfg := Config{Size: 16, Noise: 0.02, PatternP: 0.85}
+	ds := GenerateDataset(2, cfg, 4)
+	orig := NewEncoder(512, cfg.Size, 77)
+	rebuilt, err := NewEncoderFromConfig(orig.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ds.Maps {
+		a, b := orig.Encode(m), rebuilt.Encode(m)
+		for w := range a {
+			if a[w] != b[w] {
+				t.Fatalf("map %d: rebuilt encoder diverges at word %d", i, w)
+			}
+		}
+	}
+	if _, err := NewEncoderFromConfig(EncoderConfig{Dim: 8, Size: 16}); err == nil {
+		t.Error("tiny dim must be rejected")
+	}
+	if _, err := NewEncoderFromConfig(EncoderConfig{Dim: 512, Size: 1}); err == nil {
+		t.Error("tiny grid must be rejected")
 	}
 }
