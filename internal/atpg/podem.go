@@ -7,7 +7,6 @@ package atpg
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/fault"
@@ -47,27 +46,27 @@ const (
 )
 
 // Engine generates tests for stuck-at faults on one netlist using PODEM.
+// All graph structure — topological order, PI/PO index maps, CSR adjacency
+// and the per-PI fanout cones — comes from the shared immutable
+// circuit.Compiled IR; the engine owns only its five-valued value array and
+// search state.
 type Engine struct {
 	Net           *circuit.Netlist
 	Scoap         *circuit.SCOAP
 	Guide         Guide
 	BacktrackLim  int // decisions un-done before aborting a fault (default 10000)
+	c             *circuit.Compiled
 	vals          []logic.V
-	order         []int
-	piPos         map[int]int
 	Backtracks    int64 // cumulative statistics
 	Implications  int64
 	faultGate     int
 	faultPin      int
 	faultSA       uint8
 	decisionStack []decision
-	isPO          []bool
 	visit         []int64 // epoch stamps for xPathExists
 	epoch         int64
 	dfBuf         []int
-	stackBuf      []int
-	tpos          []int   // gate ID -> topological position
-	piCones       [][]int // per PI index: topo-sorted fanout cone (lazy)
+	stackBuf      []int32
 }
 
 type decision struct {
@@ -76,30 +75,22 @@ type decision struct {
 	flipped bool
 }
 
-// New builds a PODEM engine. The netlist must validate.
+// New builds a PODEM engine. The netlist must compile; the compiled IR is
+// cached on the netlist and shared with the fault simulator and every other
+// engine bound to it.
 func New(n *circuit.Netlist) (*Engine, error) {
-	if err := n.Validate(); err != nil {
+	c, err := n.Compiled()
+	if err != nil {
 		return nil, fmt.Errorf("atpg: %w", err)
 	}
-	e := &Engine{
+	return &Engine{
 		Net:          n,
-		Scoap:        circuit.ComputeSCOAP(n),
+		Scoap:        circuit.ComputeSCOAPCompiled(c),
 		BacktrackLim: 10000,
-		vals:         make([]logic.V, len(n.Gates)),
-		order:        n.TopoOrder(),
-		piPos:        n.InputIndex(),
-		isPO:         make([]bool, len(n.Gates)),
-		visit:        make([]int64, len(n.Gates)),
-	}
-	for _, po := range n.POs {
-		e.isPO[po] = true
-	}
-	e.tpos = make([]int, len(n.Gates))
-	for i, id := range e.order {
-		e.tpos[id] = i
-	}
-	e.piCones = make([][]int, len(n.PIs))
-	return e, nil
+		c:            c,
+		vals:         make([]logic.V, c.NumGates()),
+		visit:        make([]int64, c.NumGates()),
+	}, nil
 }
 
 // imply performs full five-valued forward implication with the target fault
@@ -107,81 +98,58 @@ func New(n *circuit.Netlist) (*Engine, error) {
 // X means unassigned).
 func (e *Engine) imply(piVals []logic.V) {
 	e.Implications++
-	for _, id := range e.order {
-		e.evalGate(id, piVals)
+	for _, id := range e.c.Order {
+		e.evalGate(int(id), piVals)
 	}
 }
 
 // implyPI incrementally re-implies after a single PI assignment change:
 // only the PI's structural fanout cone can change, and the fault site's
-// downstream effects are contained in that cone whenever the site is.
+// downstream effects are contained in that cone whenever the site is. The
+// cone comes from the shared IR's lazy cache, so concurrent engines over
+// one netlist compute each cone once.
 func (e *Engine) implyPI(piIdx int, piVals []logic.V) {
 	e.Implications++
-	for _, id := range e.piCone(piIdx) {
-		e.evalGate(id, piVals)
+	for _, id := range e.c.Cone(e.Net.PIs[piIdx]) {
+		e.evalGate(int(id), piVals)
 	}
-}
-
-// piCone returns the topologically sorted fanout cone of PI index piIdx
-// (including the PI gate itself), computed lazily and cached.
-func (e *Engine) piCone(piIdx int) []int {
-	if c := e.piCones[piIdx]; c != nil {
-		return c
-	}
-	root := e.Net.PIs[piIdx]
-	e.epoch++
-	stack := append(e.stackBuf[:0], root)
-	var cone []int
-	for len(stack) > 0 {
-		g := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if e.visit[g] == e.epoch {
-			continue
-		}
-		e.visit[g] = e.epoch
-		cone = append(cone, g)
-		stack = append(stack, e.Net.Gates[g].Fanout...)
-	}
-	e.stackBuf = stack[:0]
-	sort.Slice(cone, func(a, b int) bool { return e.tpos[cone[a]] < e.tpos[cone[b]] })
-	e.piCones[piIdx] = cone
-	return cone
 }
 
 // evalGate recomputes one gate's five-valued output from its fanins with
 // fault injection applied.
 func (e *Engine) evalGate(id int, piVals []logic.V) {
-	g := e.Net.Gates[id]
+	c := e.c
+	fanin := c.Fanin(id)
 	var v logic.V
-	switch g.Type {
+	switch c.Types[id] {
 	case circuit.Input, circuit.DFF:
-		v = piVals[e.piPos[id]]
+		v = piVals[c.PIPos[id]]
 	case circuit.Buf:
-		v = e.in(g, 0)
+		v = e.in(id, fanin, 0)
 	case circuit.Not:
-		v = e.in(g, 0).Not()
+		v = e.in(id, fanin, 0).Not()
 	case circuit.And, circuit.Nand:
-		v = e.in(g, 0)
-		for p := 1; p < len(g.Fanin); p++ {
-			v = logic.And(v, e.in(g, p))
+		v = e.in(id, fanin, 0)
+		for p := 1; p < len(fanin); p++ {
+			v = logic.And(v, e.in(id, fanin, p))
 		}
-		if g.Type == circuit.Nand {
+		if c.Types[id] == circuit.Nand {
 			v = v.Not()
 		}
 	case circuit.Or, circuit.Nor:
-		v = e.in(g, 0)
-		for p := 1; p < len(g.Fanin); p++ {
-			v = logic.Or(v, e.in(g, p))
+		v = e.in(id, fanin, 0)
+		for p := 1; p < len(fanin); p++ {
+			v = logic.Or(v, e.in(id, fanin, p))
 		}
-		if g.Type == circuit.Nor {
+		if c.Types[id] == circuit.Nor {
 			v = v.Not()
 		}
 	case circuit.Xor, circuit.Xnor:
-		v = e.in(g, 0)
-		for p := 1; p < len(g.Fanin); p++ {
-			v = logic.Xor(v, e.in(g, p))
+		v = e.in(id, fanin, 0)
+		for p := 1; p < len(fanin); p++ {
+			v = logic.Xor(v, e.in(id, fanin, p))
 		}
-		if g.Type == circuit.Xnor {
+		if c.Types[id] == circuit.Xnor {
 			v = v.Not()
 		}
 	}
@@ -191,11 +159,11 @@ func (e *Engine) evalGate(id int, piVals []logic.V) {
 	e.vals[id] = v
 }
 
-// in returns the five-valued value on input pin p of gate g, applying the
-// branch fault when (g, p) is the fault site.
-func (e *Engine) in(g *circuit.Gate, p int) logic.V {
-	v := e.vals[g.Fanin[p]]
-	if g.ID == e.faultGate && p == e.faultPin {
+// in returns the five-valued value on input pin p of gate id, applying the
+// branch fault when (id, p) is the fault site.
+func (e *Engine) in(id int, fanin []int32, p int) logic.V {
+	v := e.vals[fanin[p]]
+	if id == e.faultGate && p == e.faultPin {
 		return e.injectStem(v)
 	}
 	return v
@@ -235,7 +203,7 @@ func (e *Engine) siteValue() logic.V {
 	if e.faultPin < 0 {
 		return e.vals[e.faultGate].Good()
 	}
-	return e.vals[e.Net.Gates[e.faultGate].Fanin[e.faultPin]].Good()
+	return e.vals[e.c.Fanin(e.faultGate)[e.faultPin]].Good()
 }
 
 // dFrontier collects gates whose output is X but that have a D/D' input:
@@ -243,13 +211,14 @@ func (e *Engine) siteValue() logic.V {
 // across calls.
 func (e *Engine) dFrontier() []int {
 	df := e.dfBuf[:0]
-	for _, id := range e.order {
-		g := e.Net.Gates[id]
-		if g.Type == circuit.Input || e.vals[id] != logic.VX {
+	for _, id32 := range e.c.Order {
+		id := int(id32)
+		if e.c.Types[id] == circuit.Input || e.vals[id] != logic.VX {
 			continue
 		}
-		for p := range g.Fanin {
-			if e.in(g, p).IsD() {
+		fanin := e.c.Fanin(id)
+		for p := range fanin {
+			if e.in(id, fanin, p).IsD() {
 				df = append(df, id)
 				break
 			}
@@ -265,7 +234,7 @@ func (e *Engine) dFrontier() []int {
 func (e *Engine) xPathExists(id int) bool {
 	e.epoch++
 	stack := e.stackBuf[:0]
-	stack = append(stack, id)
+	stack = append(stack, int32(id))
 	for len(stack) > 0 {
 		g := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -276,11 +245,11 @@ func (e *Engine) xPathExists(id int) bool {
 		if e.vals[g] != logic.VX && !e.vals[g].IsD() {
 			continue
 		}
-		if e.isPO[g] {
+		if e.c.POIdx[g] >= 0 {
 			e.stackBuf = stack[:0]
 			return true
 		}
-		stack = append(stack, e.Net.Gates[g].Fanout...)
+		stack = append(stack, e.c.Fanout(int(g))...)
 	}
 	e.stackBuf = stack[:0]
 	return false
@@ -299,7 +268,7 @@ func (e *Engine) objective() (gate int, val logic.V, ok bool) {
 		// Activate: drive the site line to the opposite of the stuck value.
 		target := e.faultGate
 		if e.faultPin >= 0 {
-			target = e.Net.Gates[e.faultGate].Fanin[e.faultPin]
+			target = int(e.c.Fanin(e.faultGate)[e.faultPin])
 		}
 		return target, want, true
 	}
@@ -321,11 +290,11 @@ func (e *Engine) objective() (gate int, val logic.V, ok bool) {
 	if best < 0 {
 		return 0, 0, false
 	}
-	g := e.Net.Gates[best]
-	nc := nonControlling(g.Type)
-	for p := range g.Fanin {
-		if e.in(g, p) == logic.VX {
-			return g.Fanin[p], nc, true
+	fanin := e.c.Fanin(best)
+	nc := nonControlling(e.c.Types[best])
+	for p := range fanin {
+		if e.in(best, fanin, p) == logic.VX {
+			return int(fanin[p]), nc, true
 		}
 	}
 	return 0, 0, false
@@ -348,36 +317,37 @@ func nonControlling(t circuit.GateType) logic.V {
 // and a value likely to achieve it, walking backward through X-valued gates.
 func (e *Engine) backtrace(gate int, val logic.V) (piIdx int, v logic.V, ok bool) {
 	id, want := gate, val
-	for steps := 0; steps < len(e.Net.Gates)+1; steps++ {
-		g := e.Net.Gates[id]
-		if g.Type == circuit.Input || g.Type == circuit.DFF {
-			return e.piPos[id], want, true
+	for steps := 0; steps < e.c.NumGates()+1; steps++ {
+		t := e.c.Types[id]
+		if t == circuit.Input || t == circuit.DFF {
+			return int(e.c.PIPos[id]), want, true
 		}
-		if g.Type.Inverting() {
+		if t.Inverting() {
 			want = want.Not()
 		}
+		fanin := e.c.Fanin(id)
 		// Choose which X input to pursue.
 		pin := -1
-		switch g.Type {
+		switch t {
 		case circuit.Buf, circuit.Not:
 			pin = 0
 		case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
 			allNeeded := false
-			if g.Type == circuit.And || g.Type == circuit.Nand {
+			if t == circuit.And || t == circuit.Nand {
 				allNeeded = want == logic.V1 // need all 1s
 			} else {
 				allNeeded = want == logic.V0 // need all 0s
 			}
-			pin = e.pickInput(g, want, allNeeded)
+			pin = e.pickInput(id, fanin, want, allNeeded)
 		case circuit.Xor, circuit.Xnor:
-			pin = e.pickInput(g, want, false)
+			pin = e.pickInput(id, fanin, want, false)
 			// Desired value on the chosen input: fold known side inputs.
 			acc := want
-			for p := range g.Fanin {
+			for p := range fanin {
 				if p == pin {
 					continue
 				}
-				sv := e.in(g, p).Good()
+				sv := e.in(id, fanin, p).Good()
 				if sv == logic.V1 {
 					acc = acc.Not()
 				}
@@ -387,7 +357,7 @@ func (e *Engine) backtrace(gate int, val logic.V) (piIdx int, v logic.V, ok bool
 		if pin < 0 {
 			return 0, 0, false
 		}
-		id = g.Fanin[pin]
+		id = int(fanin[pin])
 		if e.vals[id] != logic.VX {
 			return 0, 0, false // line already justified; objective stuck
 		}
@@ -398,10 +368,10 @@ func (e *Engine) backtrace(gate int, val logic.V) (piIdx int, v logic.V, ok bool
 // pickInput chooses an X-valued fanin pin. With SCOAP guidance, the
 // "all inputs needed" case picks the hardest line (set the bottleneck
 // first), the "any input suffices" case picks the easiest.
-func (e *Engine) pickInput(g *circuit.Gate, want logic.V, allNeeded bool) int {
+func (e *Engine) pickInput(id int, fanin []int32, want logic.V, allNeeded bool) int {
 	best, bestCost := -1, 0
-	for p, f := range g.Fanin {
-		v := e.in(g, p)
+	for p, f := range fanin {
+		v := e.in(id, fanin, p)
 		if v != logic.VX {
 			continue
 		}

@@ -174,10 +174,13 @@ func Run(n *circuit.Netlist, lfsrLen, misrLen int, seed uint64, nPatterns int) (
 	}
 	patterns := gen.Patterns(len(n.PIs), nPatterns)
 
-	gsim, err := sim.New(n)
+	// One shared compiled IR drives both the good-circuit simulator and the
+	// fault simulator below.
+	comp, err := n.Compiled()
 	if err != nil {
 		return nil, err
 	}
+	gsim := sim.NewCompiled(comp)
 	goodResp := gsim.Run(patterns)
 	good, err := NewMISR(misrLen, seed)
 	if err != nil {
@@ -191,10 +194,7 @@ func Run(n *circuit.Netlist, lfsrLen, misrLen int, seed uint64, nPatterns int) (
 		good.Absorb(row)
 	}
 
-	fsim, err := fault.NewSimulator(n)
-	if err != nil {
-		return nil, err
-	}
+	fsim := fault.NewSimulatorCompiled(comp)
 	faults := fault.Universe(n)
 	res := &Result{
 		Patterns:      patterns.N,

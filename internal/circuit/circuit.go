@@ -11,6 +11,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the supported gate functions.
@@ -103,6 +104,12 @@ type Netlist struct {
 	byName map[string]int
 	order  []int // topological order, built by Levelize
 	levels int
+
+	// compiled caches the immutable IR built by Compiled(); compileMu
+	// serializes concurrent first compilations. Construction-time mutators
+	// (AddGate, MarkOutput) invalidate the cache.
+	compileMu sync.Mutex
+	compiled  *Compiled
 }
 
 // New returns an empty netlist with the given name.
@@ -139,6 +146,7 @@ func (n *Netlist) AddGate(name string, t GateType, fanin ...string) (int, error)
 		n.PIs = append(n.PIs, g.ID)
 	}
 	n.order = nil
+	n.compiled = nil
 	return g.ID, nil
 }
 
@@ -181,6 +189,7 @@ func (n *Netlist) MarkOutput(name string) error {
 		}
 	}
 	n.POs = append(n.POs, id)
+	n.compiled = nil
 	return nil
 }
 

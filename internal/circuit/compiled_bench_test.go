@@ -1,0 +1,47 @@
+package circuit
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCompile measures the cost of building the full compiled IR (CSR
+// fanin/fanout, topo order, PI/PO maps) from a levelized netlist. Compile is
+// called directly — Netlist.Compiled() would cache and return immediately —
+// so best-of-N reflects the CSR-build cost the concurrent engines pay once
+// per netlist.
+func BenchmarkCompile(b *testing.B) {
+	for _, gates := range []int{500, 2000, 8000} {
+		n := Random(64, gates, 3)
+		n.TopoOrder() // levelize outside the timed region, like every engine does
+		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCone measures lazy cone materialization for every gate of a
+// cold compiled IR (the dominant setup cost of PPSFP fault simulation).
+func BenchmarkCone(b *testing.B) {
+	n := Random(64, 2000, 3)
+	if _, err := n.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := Compile(n) // fresh IR each iteration: cones start cold
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id := range n.Gates {
+			if cone := c.Cone(id); len(cone) == 0 {
+				b.Fatal("empty cone")
+			}
+		}
+	}
+}

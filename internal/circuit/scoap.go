@@ -15,63 +15,77 @@ type SCOAP struct {
 const scoapInf = 1 << 28
 
 // ComputeSCOAP calculates the combinational SCOAP measures for the netlist.
+// It panics when the netlist does not compile (cycle, dangling reference),
+// mirroring TopoOrder; use ComputeSCOAPCompiled with an already-compiled IR
+// to avoid the error path entirely.
 func ComputeSCOAP(n *Netlist) *SCOAP {
-	s := &SCOAP{
-		CC0: make([]int, len(n.Gates)),
-		CC1: make([]int, len(n.Gates)),
-		CO:  make([]int, len(n.Gates)),
+	c, err := n.Compiled()
+	if err != nil {
+		panic(err)
 	}
-	order := n.TopoOrder()
+	return ComputeSCOAPCompiled(c)
+}
+
+// ComputeSCOAPCompiled calculates the SCOAP measures over the shared
+// compiled IR.
+func ComputeSCOAPCompiled(c *Compiled) *SCOAP {
+	ng := c.NumGates()
+	s := &SCOAP{
+		CC0: make([]int, ng),
+		CC1: make([]int, ng),
+		CO:  make([]int, ng),
+	}
 	// Controllability: forward pass in topological order.
-	for _, id := range order {
-		g := n.Gates[id]
-		switch g.Type {
+	for _, id32 := range c.Order {
+		id := int(id32)
+		fanin := c.Fanin(id)
+		switch c.Types[id] {
 		case Input, DFF:
 			s.CC0[id], s.CC1[id] = 1, 1
 		case Buf:
-			f := g.Fanin[0]
+			f := fanin[0]
 			s.CC0[id], s.CC1[id] = s.CC0[f]+1, s.CC1[f]+1
 		case Not:
-			f := g.Fanin[0]
+			f := fanin[0]
 			s.CC0[id], s.CC1[id] = s.CC1[f]+1, s.CC0[f]+1
 		case And, Nand:
 			sum1, min0 := 1, scoapInf
-			for _, f := range g.Fanin {
+			for _, f := range fanin {
 				sum1 += s.CC1[f]
 				if s.CC0[f] < min0 {
 					min0 = s.CC0[f]
 				}
 			}
 			c1, c0 := sum1, min0+1
-			if g.Type == Nand {
+			if c.Types[id] == Nand {
 				c0, c1 = c1, c0
 			}
 			s.CC0[id], s.CC1[id] = c0, c1
 		case Or, Nor:
 			sum0, min1 := 1, scoapInf
-			for _, f := range g.Fanin {
+			for _, f := range fanin {
 				sum0 += s.CC0[f]
 				if s.CC1[f] < min1 {
 					min1 = s.CC1[f]
 				}
 			}
 			c0, c1 := sum0, min1+1
-			if g.Type == Nor {
+			if c.Types[id] == Nor {
 				c0, c1 = c1, c0
 			}
 			s.CC0[id], s.CC1[id] = c0, c1
 		case Xor, Xnor:
 			// For 2-input XOR: CC1 = min(CC1a+CC0b, CC0a+CC1b)+1,
 			// CC0 = min(CC0a+CC0b, CC1a+CC1b)+1. Generalize pairwise.
-			c0, c1 := s.CC0[g.Fanin[0]], s.CC1[g.Fanin[0]]
-			for _, f := range g.Fanin[1:] {
+			c0, c1 := s.CC0[fanin[0]], s.CC1[fanin[0]]
+			for _, f := range fanin[1:] {
 				n0 := min(c0+s.CC0[f], c1+s.CC1[f])
 				n1 := min(c1+s.CC0[f], c0+s.CC1[f])
 				c0, c1 = n0, n1
 			}
 			c0++
 			c1++
-			if g.Type == Xnor {
+			if c.Types[id] == Xnor {
 				c0, c1 = c1, c0
 			}
 			s.CC0[id], s.CC1[id] = c0, c1
@@ -81,31 +95,31 @@ func ComputeSCOAP(n *Netlist) *SCOAP {
 	for i := range s.CO {
 		s.CO[i] = scoapInf
 	}
-	for _, id := range n.POs {
-		s.CO[id] = 0
+	for _, po := range c.Net.POs {
+		s.CO[po] = 0
 	}
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
-		g := n.Gates[id]
+	for i := len(c.Order) - 1; i >= 0; i-- {
+		id := int(c.Order[i])
 		if s.CO[id] == scoapInf {
 			continue
 		}
-		for pin, f := range g.Fanin {
+		fanin := c.Fanin(id)
+		for pin, f := range fanin {
 			var co int
-			switch g.Type {
+			switch c.Types[id] {
 			case Buf, Not:
 				co = s.CO[id] + 1
 			case And, Nand:
 				// Sensitize: all side inputs at 1.
 				co = s.CO[id] + 1
-				for p2, f2 := range g.Fanin {
+				for p2, f2 := range fanin {
 					if p2 != pin {
 						co += s.CC1[f2]
 					}
 				}
 			case Or, Nor:
 				co = s.CO[id] + 1
-				for p2, f2 := range g.Fanin {
+				for p2, f2 := range fanin {
 					if p2 != pin {
 						co += s.CC0[f2]
 					}
@@ -113,7 +127,7 @@ func ComputeSCOAP(n *Netlist) *SCOAP {
 			case Xor, Xnor:
 				// Side inputs need any known value; use cheaper of CC0/CC1.
 				co = s.CO[id] + 1
-				for p2, f2 := range g.Fanin {
+				for p2, f2 := range fanin {
 					if p2 != pin {
 						co += min(s.CC0[f2], s.CC1[f2])
 					}

@@ -40,19 +40,21 @@ type ControlPoint struct {
 // SelectTestPoints chooses up to nObs observation points (worst SCOAP
 // observability) and nCtl control points (worst controllability, polarity
 // by the harder side). Primary inputs and outputs are never selected.
+// The SCOAP measures and PO membership come from the netlist's shared
+// compiled IR (cached; compiled at most once).
 func SelectTestPoints(n *circuit.Netlist, nObs, nCtl int) Plan {
-	s := circuit.ComputeSCOAP(n)
-	isPO := map[int]bool{}
-	for _, po := range n.POs {
-		isPO[po] = true
+	c, err := n.Compiled()
+	if err != nil {
+		panic(err) // matches the previous ComputeSCOAP/TopoOrder contract
 	}
+	s := circuit.ComputeSCOAPCompiled(c)
 	type cand struct {
 		id   int
 		cost int
 	}
 	var obsCands, ctlCands []cand
 	for _, g := range n.Gates {
-		if g.Type == circuit.Input || g.Type == circuit.DFF || isPO[g.ID] {
+		if g.Type == circuit.Input || g.Type == circuit.DFF || c.POIdx[g.ID] >= 0 {
 			continue
 		}
 		obsCands = append(obsCands, cand{g.ID, s.CO[g.ID]})

@@ -22,6 +22,7 @@ type FaultSimBenchRow struct {
 	Gates        int     `json:"gates"`               // logic gates (excluding PIs)
 	Faults       int     `json:"faults"`              // collapsed fault universe
 	Patterns     int     `json:"patterns"`            // random patterns simulated
+	CompileNs    float64 `json:"compile_ns"`          // circuit.Compile best-of-N (CSR IR build, excl. levelization)
 	PPSFPMs      float64 `json:"ppsfp_ms"`            // event-driven 64-way run, one goroutine
 	ConcurrentMs float64 `json:"concurrent_ms"`       // fault shards across workers
 	DictMs       float64 `json:"dictionary_ms"`       // full-signature dictionary (word-sharded)
@@ -87,6 +88,12 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 	fmt.Fprintf(tw, "circuit\tgates\tfaults\tpatterns\tppsfp\tconc(%d)\tdict\tserial\tspeedup\tMpat·faults/s\n", doc.Workers)
 	for _, gates := range sizes {
 		c := circuit.Random(64, gates, 3)
+		c.TopoOrder() // levelize once so compileDur isolates the CSR-IR build
+		compileDur := minDuration(5, func() {
+			if _, err := circuit.Compile(c); err != nil {
+				panic(err) // Random netlists always compile; see Compile's contract
+			}
+		})
 		faults := fault.Universe(c)
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		p := logic.NewPatternSet(len(c.PIs), patterns)
@@ -125,6 +132,7 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 		row := FaultSimBenchRow{
 			Circuit: c.Name, Gates: c.NumLogicGates(), Faults: len(faults),
 			Patterns:     patterns,
+			CompileNs:    float64(compileDur.Nanoseconds()),
 			PPSFPMs:      float64(ppsfp) / float64(time.Millisecond),
 			ConcurrentMs: float64(conc) / float64(time.Millisecond),
 			DictMs:       float64(dict) / float64(time.Millisecond),

@@ -10,11 +10,17 @@ import (
 )
 
 // RunConcurrent fault-simulates the pattern set across multiple goroutines,
-// each with its own compiled simulator, splitting the fault list into
-// contiguous shards. Results are identical to Simulator.Run (fault dropping
-// happens within each shard, and detection indices do not depend on other
-// faults). workers <= 0 selects GOMAXPROCS.
+// splitting the fault list into contiguous shards. The netlist is compiled
+// exactly once; every worker gets a cheap Simulator over the shared
+// immutable IR (and therefore shares the fanout-cone cache). Results are
+// identical to Simulator.Run (fault dropping happens within each shard, and
+// detection indices do not depend on other faults). workers <= 0 selects
+// GOMAXPROCS.
 func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers int) (*Result, error) {
+	c, err := n.Compiled()
+	if err != nil {
+		return nil, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -22,17 +28,12 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		fsim, err := NewSimulator(n)
-		if err != nil {
-			return nil, err
-		}
-		return fsim.Run(p, faults), nil
+		return NewSimulatorCompiled(c).Run(p, faults), nil
 	}
 	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
 	type shard struct {
 		lo, hi int
 		out    *Result
-		err    error
 	}
 	shards := make([]shard, workers)
 	per := (len(faults) + workers - 1) / workers
@@ -50,19 +51,11 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()
-			fsim, err := NewSimulator(n)
-			if err != nil {
-				s.err = err
-				return
-			}
-			s.out = fsim.Run(p, faults[s.lo:s.hi])
+			s.out = NewSimulatorCompiled(c).Run(p, faults[s.lo:s.hi])
 		}(&shards[w])
 	}
 	wg.Wait()
 	for _, s := range shards {
-		if s.err != nil {
-			return nil, s.err
-		}
 		if s.out == nil {
 			continue
 		}
@@ -76,20 +69,21 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 }
 
 // DictionaryConcurrent builds the same full-response signatures as
-// Simulator.Dictionary, sharding the pattern words across workers. Each
-// worker owns a compiled simulator (created lazily on first claim) and
-// fills whole signature columns; distinct words write disjoint storage, so
-// the merged dictionary is bit-identical to the serial one for any worker
+// Simulator.Dictionary, sharding the pattern words across workers. The
+// netlist is compiled exactly once up front; each worker owns a cheap
+// Simulator over the shared IR (created lazily on first claim) and fills
+// whole signature columns. Distinct words write disjoint storage, so the
+// merged dictionary is bit-identical to the serial one for any worker
 // count. workers <= 0 selects GOMAXPROCS.
 func DictionaryConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers int) ([]*Signature, error) {
+	c, err := n.Compiled()
+	if err != nil {
+		return nil, err
+	}
 	words := p.Words()
 	workers = parallel.Workers(workers)
 	if workers <= 1 || words <= 1 {
-		fsim, err := NewSimulator(n)
-		if err != nil {
-			return nil, err
-		}
-		return fsim.Dictionary(p, faults), nil
+		return NewSimulatorCompiled(c).Dictionary(p, faults), nil
 	}
 	sigs := newSignatures(len(faults), len(n.POs), words)
 	type scratch struct {
@@ -98,14 +92,10 @@ func DictionaryConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Faul
 		perPO []logic.Word
 	}
 	scratches := make([]scratch, workers)
-	err := parallel.ForWorker(workers, words, func(worker, w int) error {
+	err = parallel.ForWorker(workers, words, func(worker, w int) error {
 		sc := &scratches[worker]
 		if sc.fsim == nil {
-			fsim, err := NewSimulator(n)
-			if err != nil {
-				return err
-			}
-			sc.fsim = fsim
+			sc.fsim = NewSimulatorCompiled(c)
 			sc.pi = make([]logic.Word, len(n.PIs))
 			sc.perPO = make([]logic.Word, len(n.POs))
 		}

@@ -3,7 +3,6 @@ package fault
 import (
 	"fmt"
 	"math/bits"
-	"slices"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
@@ -18,86 +17,46 @@ import (
 // faulty word equals its good word and nothing downstream can differ).
 // A fault is detected when any primary output differs from the good value
 // in any pattern bit.
+//
+// All graph structure (CSR adjacency, topological tables, PO index map, the
+// lazily-built fanout-cone cache) lives in the shared immutable
+// circuit.Compiled IR; a Simulator owns only its mutable scratch, so
+// per-worker instances over one compiled graph are cheap and share cones.
 type Simulator struct {
-	Net    *circuit.Netlist
-	good   *sim.Simulator
-	cones  [][]int32    // per gate ID: fanout cone in topological order (incl. the gate)
-	poIdx  []int32      // gate ID -> index in Net.POs, -1 when not a PO
-	fval   []logic.Word // scratch: faulty values, valid where stamp[id] == epoch
-	tpos   []int32      // gate ID -> topological position
-	topoID []int32      // topological position -> gate ID (inverse of tpos)
-	stamp  []uint64     // per gate: epoch at which fval was written with a differing word
-	visit  []uint64     // per gate: cone-construction visited stamp
-	epoch  uint64       // current detectWord epoch
-	vepoch uint64       // current cone-construction epoch
-	stack  []int32      // cone-construction scratch
-	posBuf []int32      // cone-construction scratch (topological positions)
+	Net   *circuit.Netlist
+	c     *circuit.Compiled
+	good  *sim.Simulator
+	fval  []logic.Word // scratch: faulty values, valid where stamp[id] == epoch
+	stamp []uint64     // per gate: epoch at which fval was written with a differing word
+	epoch uint64       // current detectWord epoch
 }
 
-// NewSimulator compiles a fault simulator for the netlist.
+// NewSimulator compiles a fault simulator for the netlist. The compiled IR
+// is cached on the netlist, so repeated calls share one graph.
 func NewSimulator(n *circuit.Netlist) (*Simulator, error) {
-	gs, err := sim.New(n)
+	c, err := n.Compiled()
 	if err != nil {
 		return nil, err
 	}
-	fs := &Simulator{
-		Net:    n,
-		good:   gs,
-		cones:  make([][]int32, len(n.Gates)),
-		poIdx:  make([]int32, len(n.Gates)),
-		fval:   make([]logic.Word, len(n.Gates)),
-		tpos:   make([]int32, len(n.Gates)),
-		topoID: make([]int32, len(n.Gates)),
-		stamp:  make([]uint64, len(n.Gates)),
-		visit:  make([]uint64, len(n.Gates)),
-	}
-	for i, id := range n.TopoOrder() {
-		fs.tpos[id] = int32(i)
-		fs.topoID[i] = int32(id)
-	}
-	for i := range fs.poIdx {
-		fs.poIdx[i] = -1
-	}
-	for i, po := range n.POs {
-		fs.poIdx[po] = int32(i)
-	}
-	return fs, nil
+	return NewSimulatorCompiled(c), nil
 }
 
-// cone returns the fanout cone of gate id (including id), in topological
-// order, computing and caching it on first use. Membership is tracked with
-// an epoch-stamped visited array (no map) and the topological order is
-// recovered by sorting the precomputed positions and mapping them back
-// through the inverse topological table (no comparator closure).
-func (s *Simulator) cone(id int) []int32 {
-	if s.cones[id] != nil {
-		return s.cones[id]
+// NewSimulatorCompiled builds a fault simulator over an already-compiled
+// IR, allocating only the per-instance mutable scratch. The concurrent
+// drivers (RunConcurrent, DictionaryConcurrent) use this to hand every
+// worker goroutine the same graph.
+func NewSimulatorCompiled(c *circuit.Compiled) *Simulator {
+	return &Simulator{
+		Net:   c.Net,
+		c:     c,
+		good:  sim.NewCompiled(c),
+		fval:  make([]logic.Word, c.NumGates()),
+		stamp: make([]uint64, c.NumGates()),
 	}
-	s.vepoch++
-	ve := s.vepoch
-	s.visit[id] = ve
-	stack := append(s.stack[:0], int32(id))
-	pos := s.posBuf[:0]
-	for len(stack) > 0 {
-		g := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		pos = append(pos, s.tpos[g])
-		for _, fo := range s.Net.Gates[g].Fanout {
-			if s.visit[fo] != ve {
-				s.visit[fo] = ve
-				stack = append(stack, int32(fo))
-			}
-		}
-	}
-	slices.Sort(pos)
-	cone := make([]int32, len(pos))
-	for i, tp := range pos {
-		cone[i] = s.topoID[tp]
-	}
-	s.stack, s.posBuf = stack, pos // keep grown scratch capacity
-	s.cones[id] = cone
-	return cone
 }
+
+// Compiled returns the shared immutable IR the simulator reads.
+func (s *Simulator) Compiled() *circuit.Compiled { return s.c }
 
 // detectWord simulates fault f against the good values currently held in
 // s.good (from the last Block call) and returns the word of pattern bits
@@ -111,7 +70,7 @@ func (s *Simulator) cone(id int) []int32 {
 // the walk passes it the effect has provably died and the remaining cone is
 // skipped.
 func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) logic.Word {
-	n := s.Net
+	c := s.c
 	site := f.Gate
 	var force logic.Word
 	if f.SA == 1 {
@@ -119,7 +78,7 @@ func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) log
 	}
 	var faninBuf [8]logic.Word
 	var diff logic.Word
-	cone := s.cone(site)
+	cone := c.Cone(site)
 	good := s.good.Values()
 	s.epoch++
 	ep := s.epoch
@@ -127,18 +86,18 @@ func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) log
 	for ci, id32 := range cone {
 		id := int(id32)
 		isSite := ci == 0
-		if !isSite && s.tpos[id32] > maxReach {
+		if !isSite && c.Tpos[id32] > maxReach {
 			break // fault effect died: nothing stamped feeds this or any later gate
 		}
-		g := n.Gates[id]
 		var v logic.Word
 		if isSite && f.Pin < 0 {
 			// Output (stem) fault on the site gate itself.
 			v = force
 		} else {
+			fanin := c.Fanin(id)
 			needs := isSite // input-branch site always re-evaluates
 			if !needs {
-				for _, fi := range g.Fanin {
+				for _, fi := range fanin {
 					if s.stamp[fi] == ep {
 						needs = true
 						break
@@ -149,7 +108,7 @@ func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) log
 				continue
 			}
 			in := faninBuf[:0]
-			for pin, fi := range g.Fanin {
+			for pin, fi := range fanin {
 				var w logic.Word
 				if isSite && pin == f.Pin {
 					w = force // input branch fault
@@ -160,10 +119,10 @@ func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) log
 				}
 				in = append(in, w)
 			}
-			if g.Type == circuit.Input || g.Type == circuit.DFF {
+			if t := c.Types[id]; t == circuit.Input || t == circuit.DFF {
 				v = good[id] // PIs unchanged unless stem-faulted
 			} else {
-				v = sim.Eval(g.Type, in)
+				v = sim.Eval(t, in)
 			}
 		}
 		d := v ^ good[id]
@@ -172,12 +131,12 @@ func (s *Simulator) detectWord(f Fault, mask logic.Word, perPO []logic.Word) log
 		}
 		s.fval[id] = v
 		s.stamp[id] = ep
-		for _, fo := range g.Fanout {
-			if tp := s.tpos[fo]; tp > maxReach {
+		for _, fo := range c.Fanout(id) {
+			if tp := c.Tpos[fo]; tp > maxReach {
 				maxReach = tp
 			}
 		}
-		if pi := s.poIdx[id]; pi >= 0 {
+		if pi := c.POIdx[id]; pi >= 0 {
 			dm := d & mask
 			if dm != 0 && perPO != nil {
 				perPO[pi] |= dm

@@ -80,10 +80,13 @@ func SimulateTransitionsWorkers(n *circuit.Netlist, p *logic.PatternSet, faults 
 	if p.N < 2 {
 		return &TransitionResult{Total: len(faults), DetectedBy: fillNeg(len(faults))}, nil
 	}
-	gsim, err := sim.New(n)
+	// Compile once; the good-value simulator here and the word-sharded
+	// dictionary workers below all read the same immutable IR.
+	c, err := n.Compiled()
 	if err != nil {
 		return nil, err
 	}
+	gsim := sim.NewCompiled(c)
 	// Good value of every gate for every pattern, bit-sliced.
 	words := p.Words()
 	vals := make([][]logic.Word, len(n.Gates))

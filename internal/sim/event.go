@@ -12,32 +12,44 @@ import (
 // baseline against which parallel-pattern simulation speedup is measured
 // (experiment T7) and as the engine for toggle-activity profiling.
 type EventSim struct {
-	Net     *circuit.Netlist
+	Net *circuit.Netlist
+	// C is the shared compiled IR; read-only.
+	C       *circuit.Compiled
 	vals    []bool
 	dirty   []bool
 	queue   []int
-	piPos   map[int]int
 	Toggles []int64 // per-gate toggle counters (for activity profiling)
 	Events  int64   // total gate evaluations performed
 }
 
 // NewEvent builds an event-driven simulator with all gates initialized by a
-// full evaluation of the all-zero input.
+// full evaluation of the all-zero input. The compiled IR is cached on the
+// netlist and shared with every other engine bound to it.
 func NewEvent(n *circuit.Netlist) (*EventSim, error) {
-	if err := n.Validate(); err != nil {
+	c, err := n.Compiled()
+	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	e := &EventSim{
-		Net:     n,
-		vals:    make([]bool, len(n.Gates)),
-		dirty:   make([]bool, len(n.Gates)),
-		piPos:   n.InputIndex(),
-		Toggles: make([]int64, len(n.Gates)),
-	}
-	e.fullEval()
-	return e, nil
+	return NewEventCompiled(c), nil
 }
 
+// NewEventCompiled builds an event-driven simulator over an already-compiled
+// IR, allocating only per-instance state.
+func NewEventCompiled(c *circuit.Compiled) *EventSim {
+	e := &EventSim{
+		Net:     c.Net,
+		C:       c,
+		vals:    make([]bool, c.NumGates()),
+		dirty:   make([]bool, c.NumGates()),
+		Toggles: make([]int64, c.NumGates()),
+	}
+	e.fullEval()
+	return e
+}
+
+// evalBool evaluates one gate over plain booleans. Gate types are validated
+// at circuit.Compile time; an out-of-range type (only constructible by
+// bypassing Compile) evaluates to false.
 func evalBool(t circuit.GateType, in []bool) bool {
 	switch t {
 	case circuit.Buf, circuit.DFF:
@@ -72,21 +84,23 @@ func evalBool(t circuit.GateType, in []bool) bool {
 		}
 		return v
 	}
-	panic(fmt.Sprintf("sim: cannot evaluate gate type %v", t))
+	return false
 }
 
 func (e *EventSim) fullEval() {
+	c := e.C
 	var in []bool
-	for _, id := range e.Net.TopoOrder() {
-		g := e.Net.Gates[id]
-		if g.Type == circuit.Input || g.Type == circuit.DFF {
+	for _, id32 := range c.Order {
+		id := int(id32)
+		t := c.Types[id]
+		if t == circuit.Input || t == circuit.DFF {
 			continue
 		}
 		in = in[:0]
-		for _, f := range g.Fanin {
+		for _, f := range c.Fanin(id) {
 			in = append(in, e.vals[f])
 		}
-		e.vals[id] = evalBool(g.Type, in)
+		e.vals[id] = evalBool(t, in)
 		e.Events++
 	}
 }
@@ -120,10 +134,10 @@ func (e *EventSim) FlipInput(i int) {
 }
 
 func (e *EventSim) schedule(id int) {
-	for _, fo := range e.Net.Gates[id].Fanout {
+	for _, fo := range e.C.Fanout(id) {
 		if !e.dirty[fo] {
 			e.dirty[fo] = true
-			e.queue = append(e.queue, fo)
+			e.queue = append(e.queue, int(fo))
 		}
 	}
 }
@@ -132,18 +146,19 @@ func (e *EventSim) propagate() {
 	// Process in level order; the queue may grow while iterating, so use a
 	// simple insertion-by-level via repeated min extraction over a bucket
 	// structure: with modest depths, sorting the frontier per wave is fine.
+	c := e.C
 	for len(e.queue) > 0 {
 		// Find the minimum level in the queue and process all gates at it.
-		minLvl := int(^uint(0) >> 1)
+		minLvl := int32(^uint32(0) >> 1)
 		for _, id := range e.queue {
-			if l := e.Net.Gates[id].Level; l < minLvl {
+			if l := c.Level[id]; l < minLvl {
 				minLvl = l
 			}
 		}
 		next := e.queue[:0:cap(e.queue)]
 		var wave []int
 		for _, id := range e.queue {
-			if e.Net.Gates[id].Level == minLvl {
+			if c.Level[id] == minLvl {
 				wave = append(wave, id)
 			} else {
 				next = append(next, id)
@@ -153,17 +168,17 @@ func (e *EventSim) propagate() {
 		var in []bool
 		for _, id := range wave {
 			e.dirty[id] = false
-			g := e.Net.Gates[id]
-			if g.Type == circuit.Input || g.Type == circuit.DFF {
+			t := c.Types[id]
+			if t == circuit.Input || t == circuit.DFF {
 				// Full scan: flip-flop outputs are pseudo-PIs; their value
 				// is set only by SetInputs, never by fanin propagation.
 				continue
 			}
 			in = in[:0]
-			for _, f := range g.Fanin {
+			for _, f := range c.Fanin(id) {
 				in = append(in, e.vals[f])
 			}
-			nv := evalBool(g.Type, in)
+			nv := evalBool(t, in)
 			e.Events++
 			if nv != e.vals[id] {
 				e.vals[id] = nv

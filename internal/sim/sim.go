@@ -1,7 +1,9 @@
 // Package sim provides gate-level logic simulation over circuit netlists:
 // a compiled, levelized 64-way parallel-pattern simulator (the workhorse of
 // fault simulation) and a single-pattern event-driven simulator used for
-// baselines and incremental evaluation.
+// baselines and incremental evaluation. Both consume the shared immutable
+// circuit.Compiled IR, so many simulator instances (one per worker
+// goroutine, one per request) share a single compiled graph.
 package sim
 
 import (
@@ -12,36 +14,41 @@ import (
 )
 
 // Simulator is a compiled parallel-pattern simulator bound to one netlist.
-// It pre-resolves the topological order and reuses its value buffer across
+// It reads the shared immutable IR and reuses its value buffer across
 // calls, so simulating many pattern blocks performs no allocation.
 type Simulator struct {
-	Net    *circuit.Netlist
-	order  []int
+	Net *circuit.Netlist
+	// C is the shared compiled IR; read-only.
+	C      *circuit.Compiled
 	values []logic.Word // one word (64 patterns) per gate
-	piPos  []int32      // gate ID -> index in Net.PIs, -1 for non-PI gates
 }
 
-// New compiles a simulator for the netlist. The netlist must validate.
+// New compiles a simulator for the netlist. The netlist must compile (it is
+// validated, and unknown gate types are rejected up front). The compiled IR
+// is cached on the netlist, so repeated New calls share one graph.
 func New(n *circuit.Netlist) (*Simulator, error) {
-	if err := n.Validate(); err != nil {
+	c, err := n.Compiled()
+	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	piPos := make([]int32, len(n.Gates))
-	for i := range piPos {
-		piPos[i] = -1
-	}
-	for i, id := range n.PIs {
-		piPos[id] = int32(i)
-	}
-	return &Simulator{
-		Net:    n,
-		order:  n.TopoOrder(),
-		values: make([]logic.Word, len(n.Gates)),
-		piPos:  piPos,
-	}, nil
+	return NewCompiled(c), nil
 }
 
-// Eval computes one gate's output word from its fanin words.
+// NewCompiled builds a simulator over an already-compiled IR. The IR is
+// shared, never copied; only the per-instance value buffer is allocated, so
+// per-worker simulators are cheap.
+func NewCompiled(c *circuit.Compiled) *Simulator {
+	return &Simulator{
+		Net:    c.Net,
+		C:      c,
+		values: make([]logic.Word, c.NumGates()),
+	}
+}
+
+// Eval computes one gate's output word from its fanin words. Gate types are
+// validated at circuit.Compile time, so every type reaching a simulator is
+// known; an out-of-range type (only constructible by bypassing Compile)
+// evaluates to the all-zero word.
 func Eval(t circuit.GateType, in []logic.Word) logic.Word {
 	switch t {
 	case circuit.Buf, circuit.DFF:
@@ -76,33 +83,31 @@ func Eval(t circuit.GateType, in []logic.Word) logic.Word {
 		}
 		return v
 	}
-	panic(fmt.Sprintf("sim: cannot evaluate gate type %v", t))
+	return 0
 }
 
 // Block simulates one 64-pattern block. piWords[i] holds the word for
 // Net.PIs[i]. After the call, Values reports every gate's word. The
 // returned slice aliases internal storage valid until the next call.
 func (s *Simulator) Block(piWords []logic.Word) []logic.Word {
-	if len(piWords) != len(s.Net.PIs) {
-		panic(fmt.Sprintf("sim: got %d PI words, want %d", len(piWords), len(s.Net.PIs)))
+	c := s.C
+	if len(piWords) != c.NumPIs() {
+		panic(fmt.Sprintf("sim: got %d PI words, want %d", len(piWords), c.NumPIs()))
 	}
 	var faninBuf [8]logic.Word
-	for _, id := range s.order {
-		g := s.Net.Gates[id]
-		if g.Type == circuit.Input {
-			s.values[id] = piWords[s.piPos[id]]
-			continue
-		}
-		if g.Type == circuit.DFF {
-			// Full-scan: DFF output is a pseudo-PI.
-			s.values[id] = piWords[s.piPos[id]]
+	for _, id32 := range c.Order {
+		id := int(id32)
+		t := c.Types[id]
+		if t == circuit.Input || t == circuit.DFF {
+			// Full-scan: DFF outputs are pseudo-PIs.
+			s.values[id] = piWords[c.PIPos[id]]
 			continue
 		}
 		in := faninBuf[:0]
-		for _, f := range g.Fanin {
+		for _, f := range c.Fanin(id) {
 			in = append(in, s.values[f])
 		}
-		s.values[id] = Eval(g.Type, in)
+		s.values[id] = Eval(t, in)
 	}
 	return s.values
 }

@@ -29,16 +29,18 @@ type Analyzer struct {
 	// variation); nil or 1.0 entries mean nominal.
 	Derates []float64
 
-	cells []*liberty.Cell // per gate ID; nil for PIs
-	pinOf [][]int         // per gate ID: this gate's pin index seen by each fanout
-	loads []float64       // per gate ID: capacitive load on the gate output
+	c     *circuit.Compiled // shared immutable IR
+	cells []*liberty.Cell   // per gate ID; nil for PIs
+	loads []float64         // per gate ID: capacitive load on the gate output
 }
 
 // New maps every logic gate to a library cell (drive strength picked from
 // the output load) and precomputes loads. It fails when the library lacks a
-// cell for some gate type/fanin combination.
+// cell for some gate type/fanin combination. The compiled IR is cached on
+// the netlist and shared with every other engine bound to it.
 func New(n *circuit.Netlist, lib *liberty.Library) (*Analyzer, error) {
-	if err := n.Validate(); err != nil {
+	c, err := n.Compiled()
+	if err != nil {
 		return nil, fmt.Errorf("sta: %w", err)
 	}
 	a := &Analyzer{
@@ -47,6 +49,7 @@ func New(n *circuit.Netlist, lib *liberty.Library) (*Analyzer, error) {
 		WireCapPerFanout: 0.2e-15,
 		PrimaryLoad:      2e-15,
 		InputSlew:        10e-12,
+		c:                c,
 		cells:            make([]*liberty.Cell, len(n.Gates)),
 		loads:            make([]float64, len(n.Gates)),
 	}
@@ -85,48 +88,40 @@ func New(n *circuit.Netlist, lib *liberty.Library) (*Analyzer, error) {
 	// Iterate sizing twice: loads depend on chosen pin caps and vice versa.
 	for iter := 0; iter < 2; iter++ {
 		for _, g := range n.Gates {
-			load := a.WireCapPerFanout * float64(len(g.Fanout))
-			for _, fo := range g.Fanout {
-				fg := n.Gates[fo]
-				pin := faninIndex(fg, g.ID)
-				if c := a.cells[fo]; c != nil && pin < len(c.PinCaps) {
-					load += c.PinCaps[pin]
+			fanout := c.Fanout(g.ID)
+			load := a.WireCapPerFanout * float64(len(fanout))
+			for _, fo := range fanout {
+				pin := faninIndex(c, int(fo), g.ID)
+				if fc := a.cells[fo]; fc != nil && pin < len(fc.PinCaps) {
+					load += fc.PinCaps[pin]
 				} else {
 					load += 0.8e-15 // pre-sizing estimate
 				}
 			}
-			if isPO(n, g.ID) {
+			if c.POIdx[g.ID] >= 0 {
 				load += a.PrimaryLoad
 			}
 			a.loads[g.ID] = load
 			if g.Type != circuit.Input && g.Type != circuit.DFF {
-				c, err := pick(base[g.ID], load)
+				cell, err := pick(base[g.ID], load)
 				if err != nil {
 					return nil, err
 				}
-				a.cells[g.ID] = c
+				a.cells[g.ID] = cell
 			}
 		}
 	}
 	return a, nil
 }
 
-func faninIndex(g *circuit.Gate, id int) int {
-	for i, f := range g.Fanin {
-		if f == id {
+// faninIndex returns the pin position of driver id on gate g's inputs.
+func faninIndex(c *circuit.Compiled, g, id int) int {
+	for i, f := range c.Fanin(g) {
+		if int(f) == id {
 			return i
 		}
 	}
 	return 0
-}
-
-func isPO(n *circuit.Netlist, id int) bool {
-	for _, po := range n.POs {
-		if po == id {
-			return true
-		}
-	}
-	return false
 }
 
 // CellName returns the mapped cell of a gate ("" for PIs).
@@ -216,15 +211,16 @@ func (a *Analyzer) Run() (*Timing, error) {
 		}
 		return a.Derates[id]
 	}
-	for _, id := range n.TopoOrder() {
-		g := n.Gates[id]
-		if g.Type == circuit.Input || g.Type == circuit.DFF {
+	for _, id32 := range a.c.Order {
+		id := int(id32)
+		if t := a.c.Types[id]; t == circuit.Input || t == circuit.DFF {
 			continue
 		}
 		cell := a.cells[id]
 		load := a.loads[id]
 		d := derate(id)
-		for pin, fi := range g.Fanin {
+		for pin, fi32 := range a.c.Fanin(id) {
+			fi := int(fi32)
 			for _, inRise := range []bool{true, false} {
 				var inArr, inSlew float64
 				if inRise {
