@@ -29,6 +29,7 @@ func main() {
 		naive     = flag.Bool("naive", false, "use the naive backtrace (ablation)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		noCompact = flag.Bool("nocompact", false, "skip static compaction")
+		words     = flag.Int("words", 1, "fault-simulation lane width: pattern words packed per cone walk, one of 1/2/4/8 (results are identical for any width)")
 		doBIST    = flag.Bool("bist", false, "run a logic BIST session instead of ATPG")
 		lfsrLen   = flag.Int("lfsr", 32, "LFSR length for -bist")
 		misrLen   = flag.Int("misr", 24, "MISR length for -bist")
@@ -57,6 +58,7 @@ func main() {
 	cfg := atpg.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Compact = !*noCompact
+	cfg.Words = *words
 	if *naive {
 		cfg.Guide = atpg.GuideNaive
 	}

@@ -26,6 +26,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced workloads")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers (results are identical for any count)")
+		words     = flag.Int("words", 1, "fault-simulation lane width: pattern words packed per cone walk, one of 1/2/4/8 (results are identical for any width)")
 		benchjson = flag.String("benchjson", "", "run the fault-simulation benchmark sweep and write machine-readable timings to this file (e.g. BENCH_faultsim.json)")
 	)
 	flag.Parse()
@@ -34,6 +35,7 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Words = *words
 
 	start := time.Now()
 	switch {
@@ -59,7 +61,7 @@ func main() {
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] | -benchjson FILE [-quick] [-seed N] [-workers N]\n")
+		fmt.Fprintf(os.Stderr, "usage: itrbench -all | -exp <id>[,<id>...] | -benchjson FILE [-quick] [-seed N] [-workers N] [-words N]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiments.Names(), " "))
 		os.Exit(2)
 	}

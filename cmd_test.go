@@ -3,6 +3,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -10,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // update regenerates the golden files under testdata/golden/ instead of
@@ -166,6 +169,61 @@ func TestItrbenchGoldenT2(t *testing.T) {
 	}
 	out := normalizeGolden(runTool(t, "./cmd/itrbench", "-exp", "T2", "-quick", "-seed", "1"))
 	compareGolden(t, out, filepath.Join("testdata", "golden", "itrbench_T2_quick_seed1.txt"))
+}
+
+// TestItrbenchBenchJSONGolden pins the machine-readable benchmark document:
+// itrbench -benchjson -quick -seed 1 -words 8 -workers 2 must emit valid
+// itr-faultsim-bench/v1 JSON whose deterministic fields (schema, sizes,
+// fault counts, lane width, coverage, bit-identity) match the golden file
+// byte for byte. Runtime-dependent fields (timings, throughput, generated
+// stamp, toolchain version) are sanity-checked, then normalized to stable
+// placeholders before comparison. Regenerate with -update.
+func TestItrbenchBenchJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out := runTool(t, "./cmd/itrbench", "-benchjson", path, "-quick", "-seed", "1", "-words", "8", "-workers", "2")
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("itrbench did not report writing %s:\n%s", path, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc experiments.FaultSimBench
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("benchjson output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "itr-faultsim-bench/v1" {
+		t.Fatalf("schema = %q, want itr-faultsim-bench/v1", doc.Schema)
+	}
+	if doc.Generated == "" || doc.GoVersion == "" {
+		t.Fatalf("missing generated/go_version stamps: %+v", doc)
+	}
+	for i := range doc.Rows {
+		r := &doc.Rows[i]
+		// Every row must carry real measurements and the bit-identity
+		// verdict before the values are normalized away.
+		if r.CompileNs <= 0 || r.PPSFPMs <= 0 || r.ConcurrentMs <= 0 ||
+			r.SerialMs <= 0 || r.Speedup <= 0 || r.MPatFaultsPS <= 0 {
+			t.Errorf("row %d (%s): non-positive timing fields: %+v", i, r.Circuit, *r)
+		}
+		if r.DictMs <= 0 {
+			t.Errorf("row %d (%s): quick sizes are dictionary-feasible, dictionary_ms missing", i, r.Circuit)
+		}
+		if !r.BitIdentical {
+			t.Errorf("row %d (%s): bit_identical = false", i, r.Circuit)
+		}
+		r.CompileNs, r.PPSFPMs, r.ConcurrentMs, r.DictMs = 0, 0, 0, 0
+		r.SerialMs, r.Speedup, r.MPatFaultsPS = 0, 0, 0
+	}
+	doc.Generated, doc.GoVersion = "<generated>", "<go_version>"
+	norm, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, string(norm)+"\n", filepath.Join("testdata", "golden", "itrbench_benchjson_quick.json"))
 }
 
 // compareGolden checks normalized tool output against a golden file, or

@@ -23,6 +23,10 @@ type Config struct {
 	// the transition-fault dictionary (<= 0 selects GOMAXPROCS). Results
 	// are bit-identical for any worker count.
 	Workers int
+	// Words selects the fault-simulation lane width (pattern words packed
+	// per cone walk, normalized to {1,2,4,8}). Results are bit-identical
+	// for any width.
+	Words int
 }
 
 // DefaultConfig returns the standard flow configuration.
@@ -164,7 +168,7 @@ func Run(n *circuit.Netlist, cfg Config) (*Result, error) {
 
 	// Final accounting: one clean fault simulation of the final set, fanned
 	// out across workers (fault-shard results are bit-identical to serial).
-	final, err := fault.RunConcurrent(n, patterns, faults, cfg.Workers)
+	final, err := fault.RunConcurrentWords(n, patterns, faults, cfg.Workers, cfg.Words)
 	if err != nil {
 		return nil, err
 	}

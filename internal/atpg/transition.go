@@ -55,7 +55,7 @@ func RunTransition(n *circuit.Netlist, cfg Config) (*TransitionResult, error) {
 
 	detected := make([]bool, len(faults))
 	if nRand > 0 {
-		r, err := fault.SimulateTransitionsWorkers(n, patterns, faults, cfg.Workers)
+		r, err := fault.SimulateTransitionsWords(n, patterns, faults, cfg.Workers, cfg.Words)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +104,7 @@ func RunTransition(n *circuit.Netlist, cfg Config) (*TransitionResult, error) {
 				liveIdx = append(liveIdx, i)
 			}
 		}
-		r, err := fault.SimulateTransitionsWorkers(n, patterns, live, cfg.Workers)
+		r, err := fault.SimulateTransitionsWords(n, patterns, live, cfg.Workers, cfg.Words)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +115,7 @@ func RunTransition(n *circuit.Netlist, cfg Config) (*TransitionResult, error) {
 		}
 	}
 
-	final, err := fault.SimulateTransitionsWorkers(n, patterns, faults, cfg.Workers)
+	final, err := fault.SimulateTransitionsWords(n, patterns, faults, cfg.Workers, cfg.Words)
 	if err != nil {
 		return nil, err
 	}

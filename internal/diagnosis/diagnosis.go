@@ -51,8 +51,15 @@ func New(n *circuit.Netlist, patterns *logic.PatternSet) (*Diagnoser, error) {
 // (<= 0 selects GOMAXPROCS). The dictionary is word-sharded across workers
 // and bit-identical for any count.
 func NewWorkers(n *circuit.Netlist, patterns *logic.PatternSet, workers int) (*Diagnoser, error) {
+	return NewWorkersWords(n, patterns, workers, 1)
+}
+
+// NewWorkersWords is NewWorkers with an explicit fault-simulation lane
+// width (pattern words per cone walk, normalized to {1,2,4,8}). The
+// dictionary is bit-identical for any worker count and width.
+func NewWorkersWords(n *circuit.Netlist, patterns *logic.PatternSet, workers, words int) (*Diagnoser, error) {
 	faults := fault.Universe(n)
-	dict, err := fault.DictionaryConcurrent(n, patterns, faults, workers)
+	dict, err := fault.DictionaryConcurrentWords(n, patterns, faults, workers, words)
 	if err != nil {
 		return nil, err
 	}

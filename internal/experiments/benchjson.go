@@ -19,17 +19,18 @@ import (
 // engine is tracked across PRs in machine-readable form.
 type FaultSimBenchRow struct {
 	Circuit      string  `json:"circuit"`
-	Gates        int     `json:"gates"`               // logic gates (excluding PIs)
-	Faults       int     `json:"faults"`              // collapsed fault universe
-	Patterns     int     `json:"patterns"`            // random patterns simulated
-	CompileNs    float64 `json:"compile_ns"`          // circuit.Compile best-of-N (CSR IR build, excl. levelization)
-	PPSFPMs      float64 `json:"ppsfp_ms"`            // event-driven 64-way run, one goroutine
-	ConcurrentMs float64 `json:"concurrent_ms"`       // fault shards across workers
-	DictMs       float64 `json:"dictionary_ms"`       // full-signature dictionary (word-sharded)
-	SerialMs     float64 `json:"serial_ms,omitempty"` // one-pattern baseline; omitted where prohibitive
-	Speedup      float64 `json:"speedup,omitempty"`   // serial / ppsfp
+	Gates        int     `json:"gates"`                   // logic gates (excluding PIs)
+	Faults       int     `json:"faults"`                  // collapsed fault universe
+	Patterns     int     `json:"patterns"`                // random patterns simulated
+	Words        int     `json:"words"`                   // pattern words packed per cone walk
+	CompileNs    float64 `json:"compile_ns"`              // circuit.Compile best-of-N (CSR IR build, excl. levelization)
+	PPSFPMs      float64 `json:"ppsfp_ms"`                // event-driven multi-word run, one goroutine
+	ConcurrentMs float64 `json:"concurrent_ms"`           // fault shards across workers
+	DictMs       float64 `json:"dictionary_ms,omitempty"` // full-signature dictionary (word-sharded across workers); omitted above dictMaxGates where the signature matrix no longer fits
+	SerialMs     float64 `json:"serial_ms"`               // one-pattern baseline
+	Speedup      float64 `json:"speedup"`                 // serial / ppsfp
 	Coverage     float64 `json:"coverage"`
-	BitIdentical bool    `json:"bit_identical,omitempty"` // DetectedBy of PPSFP == serial baseline; omitted when the baseline was not measured (a genuine mismatch aborts the sweep)
+	BitIdentical bool    `json:"bit_identical"`           // DetectedBy of PPSFP == serial baseline == concurrent (a genuine mismatch aborts the sweep)
 	MPatFaultsPS float64 `json:"mpattern_faults_per_sec"` // faults × patterns / ppsfp time, in millions
 }
 
@@ -48,13 +49,14 @@ func faultSimBenchSizes(quick bool) ([]int, int) {
 	if quick {
 		return []int{200, 500}, 64
 	}
-	return []int{500, 2000, 8000}, 256
+	return []int{500, 2000, 8000, 32000, 100000}, 256
 }
 
-// serialBaselineLimit bounds the circuit size on which the one-pattern
-// baseline is measured; beyond it the baseline takes minutes and adds no
-// information to the trajectory.
-const serialBaselineLimit = 2000
+// dictMaxGates bounds the circuit size on which the dictionary build is
+// measured: the signature matrix is faults × POs × words (hundreds of GB at
+// 100k gates), so the dictionary workload — diagnosis — only exists at
+// dictionary-feasible sizes and larger rows omit the column.
+const dictMaxGates = 8000
 
 // minDuration times fn reps times and returns the fastest run, the standard
 // best-of-N benchmark discipline.
@@ -73,10 +75,12 @@ func minDuration(reps int, fn func()) time.Duration {
 
 // RunFaultSimBench measures the fault-simulation engine on generated
 // circuits of increasing size and returns the machine-readable benchmark
-// document. The one-pattern serial baseline doubles as a correctness
-// check: where it runs, the PPSFP DetectedBy must match it bit for bit.
+// document. Every row carries the one-pattern serial baseline, which
+// doubles as the correctness oracle: the PPSFP and concurrent DetectedBy
+// must match it bit for bit or the sweep aborts.
 func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 	sizes, patterns := faultSimBenchSizes(cfg.Quick)
+	words := fault.NormalizeWords(cfg.Words)
 	doc := &FaultSimBench{
 		Schema:    "itr-faultsim-bench/v1",
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -85,7 +89,7 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 		Quick:     cfg.Quick,
 	}
 	tw := cfg.table()
-	fmt.Fprintf(tw, "circuit\tgates\tfaults\tpatterns\tppsfp\tconc(%d)\tdict\tserial\tspeedup\tMpat·faults/s\n", doc.Workers)
+	fmt.Fprintf(tw, "circuit\tgates\tfaults\tpatterns\twords\tppsfp\tconc(%d)\tdict\tserial\tspeedup\tMpat·faults/s\n", doc.Workers)
 	for _, gates := range sizes {
 		c := circuit.Random(64, gates, 3)
 		c.TopoOrder() // levelize once so compileDur isolates the CSR-IR build
@@ -98,16 +102,16 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		p := logic.NewPatternSet(len(c.PIs), patterns)
 		p.RandFill(rng.Uint64)
-		fsim, err := fault.NewSimulator(c)
+		fsim, err := fault.NewSimulatorWords(c, words)
 		if err != nil {
 			return nil, err
 		}
 		var rp *fault.Result
-		fsim.Run(p, faults) // warm the cone cache outside the timed region
+		fsim.Run(p, faults) // warm run: fault the allocator, not the timed region
 		ppsfp := minDuration(3, func() { rp = fsim.Run(p, faults) })
 		var cerr error
 		var rc *fault.Result
-		conc := minDuration(3, func() { rc, cerr = fault.RunConcurrent(c, p, faults, cfg.Workers) })
+		conc := minDuration(3, func() { rc, cerr = fault.RunConcurrentWords(c, p, faults, cfg.Workers, words) })
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -117,51 +121,47 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 					c.Name, i, rc.DetectedBy[i], rp.DetectedBy[i])
 			}
 		}
-		dictReps := 2
-		if gates > serialBaselineLimit {
-			dictReps = 1 // the large-circuit dictionary dominates the sweep; one rep is enough
-		}
-		dict := minDuration(dictReps, func() {
-			if _, err := fault.DictionaryConcurrent(c, p, faults, cfg.Workers); err != nil {
-				cerr = err
-			}
-		})
-		if cerr != nil {
-			return nil, cerr
-		}
 		row := FaultSimBenchRow{
 			Circuit: c.Name, Gates: c.NumLogicGates(), Faults: len(faults),
 			Patterns:     patterns,
+			Words:        fsim.Words(),
 			CompileNs:    float64(compileDur.Nanoseconds()),
 			PPSFPMs:      float64(ppsfp) / float64(time.Millisecond),
 			ConcurrentMs: float64(conc) / float64(time.Millisecond),
-			DictMs:       float64(dict) / float64(time.Millisecond),
 			Coverage:     rp.Coverage,
 			MPatFaultsPS: float64(len(faults)) * float64(patterns) / ppsfp.Seconds() / 1e6,
 		}
-		if gates <= serialBaselineLimit {
-			var rs *fault.Result
-			serial := minDuration(1, func() { rs = fsim.RunSerial(p, faults) })
-			row.SerialMs = float64(serial) / float64(time.Millisecond)
-			row.Speedup = row.SerialMs / row.PPSFPMs
-			row.BitIdentical = true
-			for i := range faults {
-				if rp.DetectedBy[i] != rs.DetectedBy[i] {
-					row.BitIdentical = false
-					return nil, fmt.Errorf("benchjson: %s fault %d: PPSFP DetectedBy %d != serial %d",
-						c.Name, i, rp.DetectedBy[i], rs.DetectedBy[i])
+		if gates <= dictMaxGates {
+			dict := minDuration(2, func() {
+				if _, err := fault.DictionaryConcurrentWords(c, p, faults, cfg.Workers, words); err != nil {
+					cerr = err
 				}
+			})
+			if cerr != nil {
+				return nil, cerr
+			}
+			row.DictMs = float64(dict) / float64(time.Millisecond)
+		}
+		var rs *fault.Result
+		serial := minDuration(1, func() { rs = fsim.RunSerial(p, faults) })
+		row.SerialMs = float64(serial) / float64(time.Millisecond)
+		row.Speedup = row.SerialMs / row.PPSFPMs
+		row.BitIdentical = true
+		for i := range faults {
+			if rp.DetectedBy[i] != rs.DetectedBy[i] {
+				row.BitIdentical = false
+				return nil, fmt.Errorf("benchjson: %s fault %d: PPSFP DetectedBy %d != serial %d",
+					c.Name, i, rp.DetectedBy[i], rs.DetectedBy[i])
 			}
 		}
 		doc.Rows = append(doc.Rows, row)
-		serialCell, speedupCell := "-", "-"
-		if row.SerialMs > 0 {
-			serialCell = fmt.Sprintf("%.2fms", row.SerialMs)
-			speedupCell = fmt.Sprintf("%.1fx", row.Speedup)
+		dictCell := "-"
+		if row.DictMs > 0 {
+			dictCell = fmt.Sprintf("%.2fms", row.DictMs)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2fms\t%.2fms\t%.2fms\t%s\t%s\t%.1f\n",
-			c.Name, row.Gates, row.Faults, row.Patterns, row.PPSFPMs, row.ConcurrentMs,
-			row.DictMs, serialCell, speedupCell, row.MPatFaultsPS)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.2fms\t%.2fms\t%s\t%.2fms\t%.1fx\t%.1f\n",
+			c.Name, row.Gates, row.Faults, row.Patterns, row.Words, row.PPSFPMs, row.ConcurrentMs,
+			dictCell, row.SerialMs, row.Speedup, row.MPatFaultsPS)
 	}
 	return doc, tw.Flush()
 }

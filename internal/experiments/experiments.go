@@ -30,6 +30,11 @@ type Config struct {
 	// GOMAXPROCS. Results are bit-identical for any value: every
 	// randomized work item draws from a seed-split RNG stream.
 	Workers int
+	// Words selects the fault-simulation lane width (pattern words packed
+	// per cone walk, normalized to {1,2,4,8}); threaded through the ATPG,
+	// diagnosis, fault-simulation and transition experiments. Results are
+	// bit-identical for any width.
+	Words int
 }
 
 // Default returns the full-scale configuration printing to stdout.

@@ -52,6 +52,7 @@ func RunT4(cfg Config) (*T4Result, error) {
 		guided.Seed = cfg.Seed
 		guided.BacktrackLim = 2000
 		guided.Workers = cfg.Workers
+		guided.Words = cfg.Words
 		rg, err := atpg.Run(c, guided)
 		if err != nil {
 			return nil, err

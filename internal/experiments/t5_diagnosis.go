@@ -46,11 +46,12 @@ func RunT5(cfg Config) (*T5Result, error) {
 		acfg := atpg.DefaultConfig()
 		acfg.Seed = cfg.Seed
 		acfg.Workers = cfg.Workers
+		acfg.Words = cfg.Words
 		gen, err := atpg.Run(c, acfg)
 		if err != nil {
 			return nil, err
 		}
-		d, err := diagnosis.NewWorkers(c, gen.Patterns, cfg.Workers)
+		d, err := diagnosis.NewWorkersWords(c, gen.Patterns, cfg.Workers, cfg.Words)
 		if err != nil {
 			return nil, err
 		}

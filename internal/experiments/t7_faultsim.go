@@ -56,7 +56,7 @@ func RunT7(cfg Config) (*T7Result, error) {
 	tw := cfg.table()
 	fmt.Fprintf(tw, "circuit\tfaults(all)\tfaults(collapsed)\tpatterns\tserial\tparallel\tspeedup\tconc(%d)\tspeedup\n", res.Workers)
 	for _, c := range suite {
-		fsim, err := fault.NewSimulator(c)
+		fsim, err := fault.NewSimulatorWords(c, cfg.Words)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +73,7 @@ func RunT7(cfg Config) (*T7Result, error) {
 		rp := fsim.Run(p, faults)
 		par := time.Since(t1)
 		t2 := time.Now()
-		rc, err := fault.RunConcurrent(c, p, faults, cfg.Workers)
+		rc, err := fault.RunConcurrentWords(c, p, faults, cfg.Workers, cfg.Words)
 		if err != nil {
 			return nil, err
 		}

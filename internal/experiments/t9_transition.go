@@ -54,7 +54,7 @@ func RunT9(cfg Config) (*T9Result, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		p := logic.NewPatternSet(len(c.PIs), nRandom)
 		p.RandFill(rng.Uint64)
-		rr, err := fault.SimulateTransitionsWorkers(c, p, faults, cfg.Workers)
+		rr, err := fault.SimulateTransitionsWords(c, p, faults, cfg.Workers, cfg.Words)
 		if err != nil {
 			return nil, err
 		}
@@ -62,6 +62,7 @@ func RunT9(cfg Config) (*T9Result, error) {
 		acfg.Seed = cfg.Seed
 		acfg.BacktrackLim = 2000
 		acfg.Workers = cfg.Workers
+		acfg.Words = cfg.Words
 		ar, err := atpg.RunTransition(c, acfg)
 		if err != nil {
 			return nil, err

@@ -23,23 +23,27 @@ func benchSetup(b *testing.B, gates, patterns int) (*circuit.Netlist, []Fault, *
 }
 
 // BenchmarkFaultSim measures PPSFP fault simulation with fault dropping on
-// generated circuits of increasing size (the acceptance benchmark for the
-// event-driven engine; see BENCH_faultsim.json for the tracked trajectory).
+// generated circuits of increasing size and lane widths (the acceptance
+// benchmark for the event-driven engine; see BENCH_faultsim.json for the
+// tracked trajectory). words=1 is the pre-multi-word engine; words=8 packs
+// 512 patterns per cone walk.
 func BenchmarkFaultSim(b *testing.B) {
 	for _, gates := range []int{500, 2000, 8000} {
-		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
-			c, faults, p := benchSetup(b, gates, 256)
-			fsim, err := NewSimulator(c)
-			if err != nil {
-				b.Fatal(err)
-			}
-			fsim.Run(p, faults) // warm the cone cache before timing
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				fsim.Run(p, faults)
-			}
-			b.ReportMetric(float64(len(faults)), "faults/op")
-		})
+		for _, words := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("gates=%d/words=%d", gates, words), func(b *testing.B) {
+				c, faults, p := benchSetup(b, gates, 256)
+				fsim, err := NewSimulatorWords(c, words)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fsim.Run(p, faults) // warm the cone cache before timing
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fsim.Run(p, faults)
+				}
+				b.ReportMetric(float64(len(faults)), "faults/op")
+			})
+		}
 	}
 }
 
@@ -55,20 +59,24 @@ func BenchmarkFaultSimConcurrent(b *testing.B) {
 }
 
 // BenchmarkDictionary measures full-signature dictionary generation (no
-// fault dropping), the diagnosis workload.
+// fault dropping), the diagnosis workload, at single- and multi-word lane
+// widths. One 128-pattern set is two 64-bit words, so words=2 fills a whole
+// signature from one cone walk per fault.
 func BenchmarkDictionary(b *testing.B) {
 	for _, gates := range []int{500, 2000} {
-		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
-			c, faults, p := benchSetup(b, gates, 128)
-			fsim, err := NewSimulator(c)
-			if err != nil {
-				b.Fatal(err)
-			}
-			fsim.Dictionary(p, faults)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+		for _, words := range []int{1, 2} {
+			b.Run(fmt.Sprintf("gates=%d/words=%d", gates, words), func(b *testing.B) {
+				c, faults, p := benchSetup(b, gates, 128)
+				fsim, err := NewSimulatorWords(c, words)
+				if err != nil {
+					b.Fatal(err)
+				}
 				fsim.Dictionary(p, faults)
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fsim.Dictionary(p, faults)
+				}
+			})
+		}
 	}
 }

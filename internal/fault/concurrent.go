@@ -9,14 +9,21 @@ import (
 	"repro/internal/parallel"
 )
 
-// RunConcurrent fault-simulates the pattern set across multiple goroutines,
-// splitting the fault list into contiguous shards. The netlist is compiled
-// exactly once; every worker gets a cheap Simulator over the shared
-// immutable IR (and therefore shares the fanout-cone cache). Results are
-// identical to Simulator.Run (fault dropping happens within each shard, and
-// detection indices do not depend on other faults). workers <= 0 selects
-// GOMAXPROCS.
+// RunConcurrent fault-simulates the pattern set across multiple goroutines
+// with single-word (W=1) simulators. See RunConcurrentWords.
 func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers int) (*Result, error) {
+	return RunConcurrentWords(n, p, faults, workers, 1)
+}
+
+// RunConcurrentWords fault-simulates the pattern set across multiple
+// goroutines, splitting the fault list into contiguous shards; each worker
+// packs words pattern words per pass (normalized to {1,2,4,8}). The netlist
+// is compiled exactly once; every worker gets a cheap Simulator over the
+// shared immutable IR (and therefore shares the fanout-cone cache). Results
+// are identical to Simulator.Run for any worker count and any lane width
+// (fault dropping happens within each shard, and detection indices do not
+// depend on other faults). workers <= 0 selects GOMAXPROCS.
+func RunConcurrentWords(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers, words int) (*Result, error) {
 	c, err := n.Compiled()
 	if err != nil {
 		return nil, err
@@ -28,7 +35,7 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		return NewSimulatorCompiled(c).Run(p, faults), nil
+		return NewSimulatorCompiledWords(c, words).Run(p, faults), nil
 	}
 	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
 	type shard struct {
@@ -51,7 +58,7 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()
-			s.out = NewSimulatorCompiled(c).Run(p, faults[s.lo:s.hi])
+			s.out = NewSimulatorCompiledWords(c, words).Run(p, faults[s.lo:s.hi])
 		}(&shards[w])
 	}
 	wg.Wait()
@@ -68,38 +75,47 @@ func RunConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, work
 	return res, nil
 }
 
-// DictionaryConcurrent builds the same full-response signatures as
-// Simulator.Dictionary, sharding the pattern words across workers. The
-// netlist is compiled exactly once up front; each worker owns a cheap
-// Simulator over the shared IR (created lazily on first claim) and fills
-// whole signature columns. Distinct words write disjoint storage, so the
-// merged dictionary is bit-identical to the serial one for any worker
-// count. workers <= 0 selects GOMAXPROCS.
+// DictionaryConcurrent builds full-response signatures with single-word
+// (W=1) simulators. See DictionaryConcurrentWords.
 func DictionaryConcurrent(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers int) ([]*Signature, error) {
+	return DictionaryConcurrentWords(n, p, faults, workers, 1)
+}
+
+// DictionaryConcurrentWords builds the same full-response signatures as
+// Simulator.Dictionary, sharding W-word pattern blocks across workers
+// (words normalized to {1,2,4,8}). The netlist is compiled exactly once up
+// front; each worker owns a cheap Simulator over the shared IR (created
+// lazily on first claim) and fills whole signature-column blocks from one
+// cone walk per fault. Distinct blocks write disjoint storage, so the
+// merged dictionary is bit-identical to the serial one for any worker count
+// and any lane width. workers <= 0 selects GOMAXPROCS.
+func DictionaryConcurrentWords(n *circuit.Netlist, p *logic.PatternSet, faults []Fault, workers, words int) ([]*Signature, error) {
 	c, err := n.Compiled()
 	if err != nil {
 		return nil, err
 	}
-	words := p.Words()
+	W := NormalizeWords(words)
+	nWords := p.Words()
+	blocks := (nWords + W - 1) / W
 	workers = parallel.Workers(workers)
-	if workers <= 1 || words <= 1 {
-		return NewSimulatorCompiled(c).Dictionary(p, faults), nil
+	if workers <= 1 || blocks <= 1 {
+		return NewSimulatorCompiledWords(c, W).Dictionary(p, faults), nil
 	}
-	sigs := newSignatures(len(faults), len(n.POs), words)
+	sigs := newSignatures(len(faults), len(n.POs), nWords)
 	type scratch struct {
 		fsim  *Simulator
 		pi    []logic.Word
 		perPO []logic.Word
 	}
 	scratches := make([]scratch, workers)
-	err = parallel.ForWorker(workers, words, func(worker, w int) error {
+	err = parallel.ForWorker(workers, blocks, func(worker, b int) error {
 		sc := &scratches[worker]
 		if sc.fsim == nil {
-			sc.fsim = NewSimulatorCompiled(c)
-			sc.pi = make([]logic.Word, len(n.PIs))
-			sc.perPO = make([]logic.Word, len(n.POs))
+			sc.fsim = NewSimulatorCompiledWords(c, W)
+			sc.pi = make([]logic.Word, len(n.PIs)*W)
+			sc.perPO = make([]logic.Word, len(n.POs)*W)
 		}
-		sc.fsim.dictionaryWord(p, faults, w, sigs, sc.pi, sc.perPO)
+		sc.fsim.dictionaryBlock(p, faults, b*W, sigs, sc.pi, sc.perPO)
 		return nil
 	})
 	if err != nil {

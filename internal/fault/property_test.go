@@ -105,7 +105,7 @@ func TestEventDrivenMatchesFullResim(t *testing.T) {
 		}
 		gsim.Block(pi)
 		good := append([]logic.Word(nil), gsim.Values()...)
-		fsim.good.Block(pi)
+		fsim.good.Block(pi, 1)
 		for _, fl := range faults {
 			want := fullResimDiff(c, fl, pi, good)
 			got := fsim.detectWord(fl, p.TailMask(0), nil)

@@ -97,3 +97,95 @@ func TestConcurrentCompilesOnce(t *testing.T) {
 		t.Fatalf("full concurrent pipeline compiled %d times total, want 1 (cached)", d)
 	}
 }
+
+// TestMultiWordSharedCompiledRace drives eight multi-word fault simulators
+// of mixed lane widths (1/2/4/8) off ONE cold Compiled IR concurrently.
+// Under -race it pins three contracts at once: the netlist is compiled
+// exactly once no matter how many widths race on it; the lazily-built
+// fanout-cone cache (exercised concurrently by the ATPG-style Cone reader)
+// is built once and returns the identical backing slice to every width; and
+// every simulator — whatever its width — produces the serial reference
+// result bit for bit, since all mutable lane scratch is per-instance.
+func TestMultiWordSharedCompiledRace(t *testing.T) {
+	n := circuit.Random(32, 400, 43)
+	faults := Collapse(n, Universe(n))
+	rng := rand.New(rand.NewSource(9))
+	p := logic.NewPatternSet(len(n.PIs), 300) // ragged at every width
+	p.RandFill(rng.Uint64)
+
+	c, err := circuit.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewSimulatorCompiled(c).RunSerial(p, faults)
+
+	before := circuit.CompileCount()
+	c2, err := circuit.Compile(n) // cold IR the workers share
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := circuit.CompileCount() - before; d != 1 {
+		t.Fatalf("setup compiled %d times, want 1", d)
+	}
+
+	// Reference cone slice, resolved after the race: every concurrent
+	// Cone call must have returned this exact backing array.
+	widths := []int{1, 2, 4, 8, 8, 4, 2, 1}
+	cones := make([][]int32, len(widths))
+	var wg sync.WaitGroup
+	for w := range widths {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fsim := NewSimulatorCompiledWords(c2, widths[w])
+			if got := fsim.Words(); got != widths[w] {
+				t.Errorf("worker %d: width %d, want %d", w, got, widths[w])
+				return
+			}
+			// Race the cone cache the way concurrent ATPG does while
+			// simulators of other widths are mid-run on the same IR.
+			cones[w] = c2.Cone(n.PIs[0])
+			res := fsim.Run(p, faults)
+			if res.Detected != ref.Detected {
+				t.Errorf("worker %d (W=%d): detected %d, want %d", w, widths[w], res.Detected, ref.Detected)
+				return
+			}
+			for i := range faults {
+				if res.DetectedBy[i] != ref.DetectedBy[i] {
+					t.Errorf("worker %d (W=%d): fault %v first=%d want %d",
+						w, widths[w], faults[i], res.DetectedBy[i], ref.DetectedBy[i])
+					return
+				}
+			}
+			dict := fsim.Dictionary(p, faults)
+			for i := range faults {
+				first := -1
+				for wd := 0; wd < p.Words() && first < 0; wd++ {
+					var or logic.Word
+					for o := range dict[i].Bits {
+						or |= dict[i].Bits[o][wd]
+					}
+					if or != 0 {
+						first = wd * logic.WordBits
+					}
+				}
+				if (first < 0) != (ref.DetectedBy[i] < 0) {
+					t.Errorf("worker %d (W=%d): fault %d dictionary/run detection disagree", w, widths[w], i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d := circuit.CompileCount() - before; d != 1 {
+		t.Fatalf("racing widths compiled %d times total, want 1 (shared IR)", d)
+	}
+	for w := 1; w < len(cones); w++ {
+		if len(cones[w]) == 0 || len(cones[0]) == 0 {
+			t.Fatalf("worker %d: empty cone", w)
+		}
+		if &cones[w][0] != &cones[0][0] {
+			t.Fatalf("worker %d: cone cache not reused across lane widths", w)
+		}
+	}
+}

@@ -67,16 +67,23 @@ type TransitionResult struct {
 // SimulateTransitions runs two-pattern transition-fault simulation over all
 // consecutive pattern pairs of the set with the default worker count.
 func SimulateTransitions(n *circuit.Netlist, p *logic.PatternSet, faults []TransitionFault) (*TransitionResult, error) {
-	return SimulateTransitionsWorkers(n, p, faults, 0)
+	return SimulateTransitionsWords(n, p, faults, 0, 1)
 }
 
-// SimulateTransitionsWorkers runs two-pattern transition-fault simulation
+// SimulateTransitionsWorkers is SimulateTransitionsWords with single-word
+// (W=1) dictionary simulators.
+func SimulateTransitionsWorkers(n *circuit.Netlist, p *logic.PatternSet, faults []TransitionFault, workers int) (*TransitionResult, error) {
+	return SimulateTransitionsWords(n, p, faults, workers, 1)
+}
+
+// SimulateTransitionsWords runs two-pattern transition-fault simulation
 // over all consecutive pattern pairs of the set. It composes the existing
 // engines: good-value simulation supplies the initialization condition, and
-// the stuck-at dictionary (built word-sharded across workers; bit-identical
-// for any count, <= 0 selects GOMAXPROCS) supplies launch/propagation, so
-// the result provably matches the two-pattern definition above.
-func SimulateTransitionsWorkers(n *circuit.Netlist, p *logic.PatternSet, faults []TransitionFault, workers int) (*TransitionResult, error) {
+// the stuck-at dictionary (built block-sharded across workers with
+// words-wide simulators; bit-identical for any count and width, <= 0
+// workers selects GOMAXPROCS) supplies launch/propagation, so the result
+// provably matches the two-pattern definition above.
+func SimulateTransitionsWords(n *circuit.Netlist, p *logic.PatternSet, faults []TransitionFault, workers, words int) (*TransitionResult, error) {
 	if p.N < 2 {
 		return &TransitionResult{Total: len(faults), DetectedBy: fillNeg(len(faults))}, nil
 	}
@@ -88,13 +95,13 @@ func SimulateTransitionsWorkers(n *circuit.Netlist, p *logic.PatternSet, faults 
 	}
 	gsim := sim.NewCompiled(c)
 	// Good value of every gate for every pattern, bit-sliced.
-	words := p.Words()
+	nWords := p.Words()
 	vals := make([][]logic.Word, len(n.Gates))
 	for g := range vals {
-		vals[g] = make([]logic.Word, words)
+		vals[g] = make([]logic.Word, nWords)
 	}
 	pi := make([]logic.Word, len(n.PIs))
-	for w := 0; w < words; w++ {
+	for w := 0; w < nWords; w++ {
 		for i := range pi {
 			pi[i] = p.Bits[i][w]
 		}
@@ -128,7 +135,7 @@ func SimulateTransitionsWorkers(n *circuit.Netlist, p *logic.PatternSet, faults 
 			stuck = append(stuck, f)
 		}
 	}
-	dict, err := DictionaryConcurrent(n, p, stuck, workers)
+	dict, err := DictionaryConcurrentWords(n, p, stuck, workers, words)
 	if err != nil {
 		return nil, err
 	}

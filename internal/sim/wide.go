@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// MaxLanes is the largest number of 64-bit pattern words a multi-word
+// simulator packs per gate. One lane is one logic.Word (64 patterns), so a
+// full-width pass carries MaxLanes*logic.WordBits = 512 patterns.
+const MaxLanes = 8
+
+// maxFanin bounds the stack scratch of the lane evaluators; it matches the
+// fanin bound of the single-word simulator's faninBuf.
+const maxFanin = 8
+
+// EvalLanes computes one gate's output lanes from its fanin lanes. in holds
+// n fanin operands of act lanes each, flattened as in[pin*act+lane]; out
+// receives act lanes. Like Eval, gate types are validated at circuit.Compile
+// time; an out-of-range type evaluates to all-zero lanes.
+func EvalLanes(t circuit.GateType, in []logic.Word, n, act int, out []logic.Word) {
+	switch t {
+	case circuit.Buf, circuit.DFF:
+		for l := 0; l < act; l++ {
+			out[l] = in[l]
+		}
+	case circuit.Not:
+		for l := 0; l < act; l++ {
+			out[l] = ^in[l]
+		}
+	case circuit.And, circuit.Nand:
+		for l := 0; l < act; l++ {
+			out[l] = in[l]
+		}
+		for p := 1; p < n; p++ {
+			b := p * act
+			for l := 0; l < act; l++ {
+				out[l] &= in[b+l]
+			}
+		}
+		if t == circuit.Nand {
+			for l := 0; l < act; l++ {
+				out[l] = ^out[l]
+			}
+		}
+	case circuit.Or, circuit.Nor:
+		for l := 0; l < act; l++ {
+			out[l] = in[l]
+		}
+		for p := 1; p < n; p++ {
+			b := p * act
+			for l := 0; l < act; l++ {
+				out[l] |= in[b+l]
+			}
+		}
+		if t == circuit.Nor {
+			for l := 0; l < act; l++ {
+				out[l] = ^out[l]
+			}
+		}
+	case circuit.Xor, circuit.Xnor:
+		for l := 0; l < act; l++ {
+			out[l] = in[l]
+		}
+		for p := 1; p < n; p++ {
+			b := p * act
+			for l := 0; l < act; l++ {
+				out[l] ^= in[b+l]
+			}
+		}
+		if t == circuit.Xnor {
+			for l := 0; l < act; l++ {
+				out[l] = ^out[l]
+			}
+		}
+	default:
+		for l := 0; l < act; l++ {
+			out[l] = 0
+		}
+	}
+}
+
+// Wide is the multi-word counterpart of Simulator: it evaluates W pattern
+// words (up to MaxLanes, i.e. W*64 patterns) per gate in a single levelized
+// pass, so the per-gate dispatch and fanin gathering amortize over all
+// lanes. Values are stored strided — all lanes of a gate are contiguous at
+// values[g*W : g*W+W] — which is the layout the multi-word fault engine
+// reads in its hot loop. Like Simulator, a Wide owns only its value buffer;
+// the compiled IR is shared and read-only.
+type Wide struct {
+	Net *circuit.Netlist
+	// C is the shared compiled IR; read-only.
+	C *circuit.Compiled
+	// W is the lane stride; fixed at construction.
+	W      int
+	values []logic.Word // strided lanes: values[g*W+l]
+}
+
+// NewWideCompiled builds a W-lane simulator over an already-compiled IR.
+// 1 <= w <= MaxLanes.
+func NewWideCompiled(c *circuit.Compiled, w int) *Wide {
+	if w < 1 || w > MaxLanes {
+		panic(fmt.Sprintf("sim: lane count %d out of range [1,%d]", w, MaxLanes))
+	}
+	return &Wide{
+		Net:    c.Net,
+		C:      c,
+		W:      w,
+		values: make([]logic.Word, c.NumGates()*w),
+	}
+}
+
+// Block simulates act pattern words (act <= W) in one pass. piWords is
+// strided like the value buffer: lane l of Net.PIs[i] at piWords[i*W+l].
+// Lanes at index >= act are neither read nor written — their stored values
+// are stale and callers must not read them. The returned slice aliases
+// internal storage valid until the next call.
+func (s *Wide) Block(piWords []logic.Word, act int) []logic.Word {
+	c := s.C
+	W := s.W
+	if len(piWords) != c.NumPIs()*W {
+		panic(fmt.Sprintf("sim: got %d PI lane words, want %d", len(piWords), c.NumPIs()*W))
+	}
+	if act < 1 || act > W {
+		panic(fmt.Sprintf("sim: active lanes %d out of range [1,%d]", act, W))
+	}
+	var faninBuf [maxFanin * MaxLanes]logic.Word
+	vals := s.values
+	for _, id32 := range c.Order {
+		id := int(id32)
+		t := c.Types[id]
+		base := id * W
+		if t == circuit.Input || t == circuit.DFF {
+			// Full-scan: DFF outputs are pseudo-PIs.
+			pb := int(c.PIPos[id]) * W
+			for l := 0; l < act; l++ {
+				vals[base+l] = piWords[pb+l]
+			}
+			continue
+		}
+		fanin := c.Fanin(id)
+		in := faninBuf[:len(fanin)*act]
+		for pin, f := range fanin {
+			fb := int(f) * W
+			ib := pin * act
+			for l := 0; l < act; l++ {
+				in[ib+l] = vals[fb+l]
+			}
+		}
+		EvalLanes(t, in, len(fanin), act, vals[base:base+act])
+	}
+	return vals
+}
+
+// Values returns the strided lane buffer from the most recent Block call.
+// The slice aliases internal storage; callers must not mutate it, and lanes
+// beyond the last Block's active count are stale.
+func (s *Wide) Values() []logic.Word { return s.values }

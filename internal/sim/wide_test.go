@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Property: every lane of a Wide block equals a single-word Simulator run of
+// that lane's pattern word, for every width and active-lane count — the
+// strided layout cannot swap, shift or corrupt lanes. Also pins the
+// staleness contract: lanes at index >= act keep their previous contents
+// untouched.
+func TestWideMatchesSingleWord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := circuit.Random(4+rng.Intn(8), 30+rng.Intn(120), seed)
+		c, err := circuit.Compile(n)
+		if err != nil {
+			return false
+		}
+		ref := NewCompiled(c)
+		for _, w := range []int{1, 2, 4, MaxLanes} {
+			ws := NewWideCompiled(c, w)
+			pi := make([]logic.Word, len(n.PIs)*w)
+			for i := range pi {
+				pi[i] = logic.Word(rng.Uint64())
+			}
+			for act := 1; act <= w; act++ {
+				// Poison the stale lanes so the contract is observable.
+				vals := ws.Values()
+				for g := 0; g < c.NumGates(); g++ {
+					for l := act; l < w; l++ {
+						vals[g*w+l] = 0xdeadbeefdeadbeef
+					}
+				}
+				got := ws.Block(pi, act)
+				single := make([]logic.Word, len(n.PIs))
+				for l := 0; l < act; l++ {
+					for i := range n.PIs {
+						single[i] = pi[i*w+l]
+					}
+					want := ref.Block(single)
+					for g := 0; g < c.NumGates(); g++ {
+						if got[g*w+l] != want[g] {
+							return false
+						}
+					}
+				}
+				for g := 0; g < c.NumGates(); g++ {
+					for l := act; l < w; l++ {
+						if got[g*w+l] != 0xdeadbeefdeadbeef {
+							return false // stale lane was written
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalLanes agrees with Eval lane by lane for every gate type and
+// fanin count the compiler admits.
+func TestEvalLanesMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	types := []circuit.GateType{
+		circuit.Buf, circuit.Not, circuit.And, circuit.Nand,
+		circuit.Or, circuit.Nor, circuit.Xor, circuit.Xnor,
+	}
+	for _, gt := range types {
+		maxN := 4
+		if gt == circuit.Buf || gt == circuit.Not {
+			maxN = 1
+		} else if gt == circuit.Xor || gt == circuit.Xnor {
+			maxN = 2
+		}
+		for n := 1; n <= maxN; n++ {
+			if (gt == circuit.Xor || gt == circuit.Xnor) && n < 2 {
+				continue
+			}
+			for act := 1; act <= MaxLanes; act++ {
+				in := make([]logic.Word, n*act)
+				for i := range in {
+					in[i] = logic.Word(rng.Uint64())
+				}
+				out := make([]logic.Word, act)
+				EvalLanes(gt, in, n, act, out)
+				lane := make([]logic.Word, n)
+				for l := 0; l < act; l++ {
+					for p := 0; p < n; p++ {
+						lane[p] = in[p*act+l]
+					}
+					if want := Eval(gt, lane); out[l] != want {
+						t.Fatalf("%v n=%d act=%d lane %d: %x != %x", gt, n, act, l, out[l], want)
+					}
+				}
+			}
+		}
+	}
+}
