@@ -7,6 +7,8 @@
 //	itratpg -bench c432.bench            # ATPG on a .bench file
 //	itratpg -gen mul8                    # ATPG on a built-in circuit
 //	itratpg -gen adder16 -patterns out.txt -naive
+//	itratpg -gen mul8 -workers 8 -words 8    # speculative parallel flow
+//	itratpg -benchjson BENCH_atpg.json       # batched-vs-serial trajectory
 package main
 
 import (
@@ -18,24 +20,47 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/bist"
 	"repro/internal/circuit"
+	"repro/internal/experiments"
 	"repro/internal/logic"
 )
 
 func main() {
 	var (
 		benchPath = flag.String("bench", "", "path to a .bench netlist")
-		gen       = flag.String("gen", "", "built-in circuit: c17, adderN, mulN, aluN, cmpN, parityN, randI.G.S")
+		gen       = flag.String("gen", "", "built-in circuit: c17, adderN, mulN, aluN, cmpN, parityN, decN, gparityU.C.E, randI.G.S")
 		patOut    = flag.String("patterns", "", "write generated patterns to this file")
 		naive     = flag.Bool("naive", false, "use the naive backtrace (ablation)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		noCompact = flag.Bool("nocompact", false, "skip static compaction")
+		workers   = flag.Int("workers", 0, "speculative PODEM worker count (<= 0 selects GOMAXPROCS; results are identical for any count)")
 		words     = flag.Int("words", 1, "fault-simulation lane width: pattern words packed per cone walk, one of 1/2/4/8 (results are identical for any width)")
+		serial    = flag.Bool("serial", false, "use the serial reference flow instead of the batched speculative one (ablation; identical results)")
+		benchjson = flag.String("benchjson", "", "run the ATPG benchmark sweep (batched vs serial deterministic phase) and write BENCH_atpg.json-style output to this path")
+		benchdir  = flag.String("benchdir", "testdata/bench", "directory of named .bench anchor netlists for -benchjson")
+		quick     = flag.Bool("quick", false, "shrink the -benchjson sweep to small circuits")
 		doBIST    = flag.Bool("bist", false, "run a logic BIST session instead of ATPG")
 		lfsrLen   = flag.Int("lfsr", 32, "LFSR length for -bist")
 		misrLen   = flag.Int("misr", 24, "MISR length for -bist")
 		bistPats  = flag.Int("n", 512, "patterns for -bist")
 	)
 	flag.Parse()
+
+	if *benchjson != "" {
+		ecfg := experiments.Default()
+		ecfg.Seed = *seed
+		ecfg.Quick = *quick
+		ecfg.Workers = *workers
+		ecfg.Words = *words
+		doc, err := experiments.RunATPGBench(ecfg, *benchdir)
+		if err != nil {
+			fatal(err)
+		}
+		if err := doc.WriteJSON(*benchjson); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(doc.Rows), *benchjson)
+		return
+	}
 
 	n, err := loadCircuit(*benchPath, *gen)
 	if err != nil {
@@ -58,7 +83,9 @@ func main() {
 	cfg := atpg.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Compact = !*noCompact
+	cfg.Workers = *workers
 	cfg.Words = *words
+	cfg.Serial = *serial
 	if *naive {
 		cfg.Guide = atpg.GuideNaive
 	}
@@ -71,6 +98,8 @@ func main() {
 		res.Detected, res.Coverage*100, res.Redundant, res.Aborted, res.Efficiency*100)
 	fmt.Printf("patterns: %d (%d from random phase, %d deterministic detections)\n",
 		res.Patterns.N, res.RandomPhase, res.DetPhase)
+	fmt.Printf("deterministic phase: gen %v, drop %v\n",
+		res.GenTime.Round(1e3), res.DropTime.Round(1e3))
 	fmt.Printf("backtracks: %d, runtime: %v\n", res.Backtracks, res.Runtime.Round(1e6))
 
 	if *patOut != "" {
@@ -118,6 +147,14 @@ func generate(name string) (*circuit.Netlist, error) {
 		return circuit.Comparator(size), nil
 	case scan(name, "parity", &size):
 		return circuit.ParityTree(size), nil
+	case strings.HasPrefix(name, "gparity"):
+		var units, chain, enable int
+		if _, err := fmt.Sscanf(name, "gparity%d.%d.%d", &units, &chain, &enable); err != nil {
+			return nil, fmt.Errorf("gated parity spec %q, want gparityU.C.E", name)
+		}
+		return circuit.GatedParity(units, chain, enable), nil
+	case scan(name, "dec", &size):
+		return circuit.Decoder(size), nil
 	case strings.HasPrefix(name, "rand"):
 		var in, gates int
 		var seed int64

@@ -142,6 +142,11 @@ func normalizeGolden(out string) string {
 				l = l[:i] + ", runtime: <elapsed>"
 			}
 		}
+		// itratpg: "deterministic phase: gen 1.2ms, drop 3.4ms" is pure
+		// wall-clock measurement.
+		if strings.HasPrefix(l, "deterministic phase:") {
+			l = "deterministic phase: <elapsed>"
+		}
 		kept = append(kept, l)
 	}
 	return strings.Join(kept, "\n")
@@ -158,6 +163,30 @@ func TestItratpgGolden(t *testing.T) {
 	}
 	out := normalizeGolden(runTool(t, "./cmd/itratpg", "-gen", "mul4", "-seed", "1"))
 	compareGolden(t, out, filepath.Join("testdata", "golden", "itratpg_mul4_seed1.txt"))
+}
+
+// TestItratpgGoldenParallelInvariant pins the flow's determinism contract at
+// the CLI boundary: cranking -workers and -words to the top of the grid, or
+// selecting the -serial reference flow, must reproduce the default run's
+// report byte for byte (timings normalized) — the same golden file as
+// TestItratpgGolden, on purpose.
+func TestItratpgGoldenParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	golden := filepath.Join("testdata", "golden", "itratpg_mul4_seed1.txt")
+	for _, extra := range [][]string{
+		{"-workers", "8", "-words", "8"},
+		{"-workers", "3", "-words", "2"},
+		{"-serial"},
+	} {
+		args := append([]string{"./cmd/itratpg", "-gen", "mul4", "-seed", "1"}, extra...)
+		out := normalizeGolden(runTool(t, args...))
+		if *update {
+			continue // TestItratpgGolden owns regeneration
+		}
+		compareGolden(t, out, golden)
+	}
 }
 
 // TestItrbenchGoldenT2 pins the exact harness output for a deterministic
@@ -224,6 +253,61 @@ func TestItrbenchBenchJSONGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, string(norm)+"\n", filepath.Join("testdata", "golden", "itrbench_benchjson_quick.json"))
+}
+
+// TestItratpgBenchJSONGolden pins the ATPG benchmark document: itratpg
+// -benchjson -quick -seed 1 -words 8 -workers 2 must emit valid
+// itr-atpg-bench/v1 JSON covering the named .bench anchors under
+// testdata/bench/ plus the quick generated tier, with the batched flow
+// verified bit-identical to the serial reference on every row. Timing
+// fields are sanity-checked, then normalized to stable placeholders before
+// comparison. Regenerate with -update.
+func TestItratpgBenchJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "atpg.json")
+	out := runTool(t, "./cmd/itratpg", "-benchjson", path, "-quick", "-seed", "1", "-words", "8", "-workers", "2")
+	if !strings.Contains(out, "wrote ") {
+		t.Fatalf("itratpg did not report writing %s:\n%s", path, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc experiments.ATPGBench
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("benchjson output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "itr-atpg-bench/v1" {
+		t.Fatalf("schema = %q, want itr-atpg-bench/v1", doc.Schema)
+	}
+	if doc.Generated == "" || doc.GoVersion == "" {
+		t.Fatalf("missing generated/go_version stamps: %+v", doc)
+	}
+	anchors := 0
+	for i := range doc.Rows {
+		r := &doc.Rows[i]
+		if r.Source == "bench" {
+			anchors++
+		}
+		if r.DetMs <= 0 || r.SerialDetMs <= 0 {
+			t.Errorf("row %d (%s): non-positive deterministic-phase timings: %+v", i, r.Circuit, *r)
+		}
+		if !r.DeterminismVerified {
+			t.Errorf("row %d (%s): determinism_verified = false", i, r.Circuit)
+		}
+		r.GenNs, r.DropNs, r.DetMs, r.SerialDetMs, r.Speedup = 0, 0, 0, 0, 0
+	}
+	if anchors < 3 {
+		t.Errorf("only %d named .bench anchor rows, want the 3 under testdata/bench/", anchors)
+	}
+	doc.Generated, doc.GoVersion = "<generated>", "<go_version>"
+	norm, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, string(norm)+"\n", filepath.Join("testdata", "golden", "itratpg_benchjson_quick.json"))
 }
 
 // compareGolden checks normalized tool output against a golden file, or

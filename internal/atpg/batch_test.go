@@ -1,0 +1,199 @@
+package atpg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// samePatterns reports whether two pattern sets are bit-identical.
+func samePatterns(a, b *logic.PatternSet) bool {
+	if a.N != b.N || a.Inputs != b.Inputs {
+		return false
+	}
+	for i := range a.Bits {
+		for w := range a.Bits[i] {
+			if a.Bits[i][w]&a.TailMask(w) != b.Bits[i][w]&b.TailMask(w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// requireIdentical fails the test unless got reproduces want in every field
+// the flow pins: the pattern bits themselves and all counters.
+func requireIdentical(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !samePatterns(got.Patterns, want.Patterns) {
+		t.Fatalf("%s: pattern set differs (%d patterns vs %d)", label, got.Patterns.N, want.Patterns.N)
+	}
+	if got.Detected != want.Detected || got.Redundant != want.Redundant ||
+		got.Aborted != want.Aborted || got.Backtracks != want.Backtracks ||
+		got.RandomPhase != want.RandomPhase || got.DetPhase != want.DetPhase ||
+		got.Coverage != want.Coverage || got.Efficiency != want.Efficiency {
+		t.Fatalf("%s: counters differ:\n got  det=%d red=%d ab=%d bt=%d rand=%d detph=%d cov=%v eff=%v\n want det=%d red=%d ab=%d bt=%d rand=%d detph=%d cov=%v eff=%v",
+			label,
+			got.Detected, got.Redundant, got.Aborted, got.Backtracks, got.RandomPhase, got.DetPhase, got.Coverage, got.Efficiency,
+			want.Detected, want.Redundant, want.Aborted, want.Backtracks, want.RandomPhase, want.DetPhase, want.Coverage, want.Efficiency)
+	}
+	if len(got.CoverageAt) != len(want.CoverageAt) {
+		t.Fatalf("%s: coverage curve length %d, want %d", label, len(got.CoverageAt), len(want.CoverageAt))
+	}
+	for k := range got.CoverageAt {
+		if got.CoverageAt[k] != want.CoverageAt[k] {
+			t.Fatalf("%s: coverage curve diverges at pattern %d", label, k+1)
+		}
+	}
+}
+
+// TestBatchedBitIdenticalGrid pins the determinism contract of the
+// speculative flow: for every workers × words combination in the supported
+// grid, and for adversarial speculation depths, atpg.Run produces exactly
+// the pattern set and statistics of the Serial reference flow. Both the
+// random+deterministic flow and the harder deterministic-only flow (every
+// fault goes through PODEM, so the commit replay sees skips, redundancies
+// and aborts) are pinned.
+func TestBatchedBitIdenticalGrid(t *testing.T) {
+	for _, skipRandom := range []bool{false, true} {
+		n := circuit.Random(16, 250, 77)
+		base := DefaultConfig()
+		base.BacktrackLim = 50 // low limit so Aborted paths are exercised
+		base.SkipRandom = skipRandom
+		serial := base
+		serial.Serial = true
+		want, err := Run(n, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Detected == 0 || want.Patterns.N == 0 {
+			t.Fatalf("degenerate reference: detected=%d patterns=%d", want.Detected, want.Patterns.N)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, words := range []int{1, 2, 4, 8} {
+				cfg := base
+				cfg.Workers = workers
+				cfg.Words = words
+				got, err := Run(n, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, fmt.Sprintf("skipRandom=%v workers=%d words=%d", skipRandom, workers, words), got, want)
+			}
+		}
+		// Speculation depth must not be observable: degenerate (1), prime,
+		// block-sized, and beyond-universe depths all replay to the same
+		// committed sequence.
+		for _, depth := range []int{1, 3, 64, 257, 1 << 20} {
+			cfg := base
+			cfg.Workers = 4
+			cfg.Words = 4
+			cfg.SpecDepth = depth
+			got, err := Run(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fmt.Sprintf("skipRandom=%v specDepth=%d", skipRandom, depth), got, want)
+		}
+	}
+}
+
+// TestBatchedSharedIRRace runs eight full ATPG flows concurrently on one
+// netlist: the compiled IR must be built exactly once (shared by every
+// flow's engines and simulators), and every flow must return the identical
+// result. CI runs this package under -race.
+func TestBatchedSharedIRRace(t *testing.T) {
+	n := circuit.Random(12, 180, 91)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.Words = 2
+	want, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n2 := circuit.Random(12, 180, 91) // fresh netlist: nothing compiled yet
+	before := circuit.CompileCount()
+	var wg sync.WaitGroup
+	results := make([]*Result, 8)
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = Run(n2, cfg)
+		}(w)
+	}
+	wg.Wait()
+	if d := circuit.CompileCount() - before; d != 1 {
+		t.Fatalf("8 concurrent flows compiled %d times, want 1 (shared IR)", d)
+	}
+	for w := 0; w < 8; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		requireIdentical(t, fmt.Sprintf("concurrent flow %d", w), results[w], want)
+	}
+}
+
+// TestSerialFlagTimingSplit sanity-checks the instrumentation the benchmark
+// layer publishes: a deterministic-only run spends measurable time in both
+// generation and dropping, and the batched flow reports the same phase
+// totals structure as the serial one.
+func TestSerialFlagTimingSplit(t *testing.T) {
+	n := circuit.Random(14, 200, 5)
+	cfg := DefaultConfig()
+	cfg.SkipRandom = true
+	for _, serial := range []bool{false, true} {
+		cfg.Serial = serial
+		res, err := Run(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GenTime <= 0 {
+			t.Errorf("serial=%v: GenTime = %v, want > 0", serial, res.GenTime)
+		}
+		if res.DropTime <= 0 {
+			t.Errorf("serial=%v: DropTime = %v, want > 0", serial, res.DropTime)
+		}
+	}
+}
+
+// The flow benchmarks use a small gated-parity bank — the random-pattern-
+// resistant shape whose deterministic phase the batching rebuild targets —
+// sized so bench-smoke stays fast.
+func BenchmarkATPGFlow(b *testing.B) {
+	n := circuit.GatedParity(8, 12, 8)
+	cfg := DefaultConfig()
+	cfg.SkipRandom = true
+	cfg.Serial = true
+	if _, err := Run(n, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(n, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkATPGFlowParallel(b *testing.B) {
+	n := circuit.GatedParity(8, 12, 8)
+	cfg := DefaultConfig()
+	cfg.SkipRandom = true
+	cfg.Workers = 8
+	cfg.Words = 8
+	if _, err := Run(n, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(n, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

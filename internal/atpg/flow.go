@@ -7,6 +7,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/parallel"
 )
 
 // Config controls the full test-generation flow.
@@ -19,9 +20,18 @@ type Config struct {
 	Compact      bool // reverse-order static compaction (default on via DefaultConfig)
 	FillRandom   bool // fill don't-cares randomly (true) or with zeros
 	SkipRandom   bool // deterministic-only flow (for ablation)
-	// Workers bounds the fan-out of the post-generation coverage sweep and
-	// the transition-fault dictionary (<= 0 selects GOMAXPROCS). Results
-	// are bit-identical for any worker count.
+	// Serial selects the one-PODEM-one-drop-per-fault reference flow: no
+	// pattern batching, no speculative generation. Results are bit-identical
+	// to the batched flow (pinned by tests); the knob exists for the
+	// performance ablation in BENCH_atpg.json and experiment T4.
+	Serial bool
+	// SpecDepth is the number of undetected faults speculatively generated
+	// per round of the batched deterministic phase (<= 0 selects one block's
+	// worth, 64 × Words). Results are independent of the value.
+	SpecDepth int
+	// Workers bounds the fan-out of speculative PODEM generation, the
+	// post-generation coverage sweep and the transition-fault dictionary
+	// (<= 0 selects GOMAXPROCS). Results are bit-identical for any count.
 	Workers int
 	// Words selects the fault-simulation lane width (pattern words packed
 	// per cone walk, normalized to {1,2,4,8}). Results are bit-identical
@@ -56,6 +66,8 @@ type Result struct {
 	Efficiency  float64 // (detected + proven redundant) / total
 	Backtracks  int64
 	Runtime     time.Duration
+	GenTime     time.Duration   // deterministic phase: PODEM generation + fill
+	DropTime    time.Duration   // deterministic phase: block fault dropping + commit replay
 	CoverageAt  []CoveragePoint // coverage after each pattern (for figure F2)
 }
 
@@ -65,9 +77,54 @@ type CoveragePoint struct {
 	Coverage float64
 }
 
+// flow carries the state of one ATPG run: configuration, the shared
+// compiled IR and SCOAP table, the simulator, and the scratch buffers that
+// phase-1/2/3 hot loops reuse instead of allocating per block or pattern.
+type flow struct {
+	cfg      Config
+	net      *circuit.Netlist
+	comp     *circuit.Compiled
+	scoap    *circuit.SCOAP
+	fsim     *fault.Simulator
+	resim    *fault.Simulator // single-word sidecar for intra-round resimOne
+	faults   []fault.Fault
+	detected []bool
+	res      *Result
+	patterns *logic.PatternSet
+
+	// Scratch reused across blocks/patterns (satellite of the batching
+	// work: liveFaults used to allocate two slices per call in hot loops).
+	live    []fault.Fault // live-fault worklist
+	liveIdx []int         // live position -> global fault index
+	detBy   []int         // first-detection slots, parallel to live
+	dropBuf []int         // fsim.RunInto internal worklist
+	patBuf  []bool        // one-pattern bit buffer
+}
+
+// liveFaults rebuilds the live worklist (undetected faults and their global
+// indices) in the flow-owned scratch buffers and returns them sliced to the
+// live count; detBy is resized alongside for the next RunInto call.
+func (f *flow) liveFaults() ([]fault.Fault, []int) {
+	f.live, f.liveIdx = f.live[:0], f.liveIdx[:0]
+	for i, fl := range f.faults {
+		if !f.detected[i] {
+			f.live = append(f.live, fl)
+			f.liveIdx = append(f.liveIdx, i)
+		}
+	}
+	if cap(f.detBy) < len(f.live) {
+		f.detBy = make([]int, len(f.live))
+	}
+	f.detBy = f.detBy[:len(f.live)]
+	return f.live, f.liveIdx
+}
+
 // Run executes the full ATPG flow on the netlist: a random-pattern phase
 // with fault dropping, a deterministic PODEM phase for the remaining
-// faults, and optional reverse-order static compaction.
+// faults — batched into 64×Words pattern blocks and generated speculatively
+// across workers unless cfg.Serial — and optional reverse-order static
+// compaction. Results are bit-identical for any Workers, Words and
+// SpecDepth, and identical to the Serial reference flow.
 func Run(n *circuit.Netlist, cfg Config) (*Result, error) {
 	start := time.Now()
 	if cfg.RandomBlocks == 0 {
@@ -79,121 +136,151 @@ func Run(n *circuit.Netlist, cfg Config) (*Result, error) {
 	if cfg.BacktrackLim == 0 {
 		cfg.BacktrackLim = 10000
 	}
-	fsim, err := fault.NewSimulator(n)
+	comp, err := n.Compiled()
 	if err != nil {
 		return nil, err
 	}
-	eng, err := New(n)
+	fsim, err := fault.NewSimulatorWords(n, cfg.Words)
 	if err != nil {
 		return nil, err
 	}
-	eng.Guide = cfg.Guide
-	eng.BacktrackLim = cfg.BacktrackLim
-
 	faults := fault.Universe(n)
-	res := &Result{Circuit: n.Name, TotalFaults: len(faults)}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	patterns := logic.NewPatternSet(len(n.PIs), 0)
-	detected := make([]bool, len(faults))
-	remaining := len(faults)
+	f := &flow{
+		cfg:      cfg,
+		net:      n,
+		comp:     comp,
+		scoap:    circuit.ComputeSCOAPCompiled(comp),
+		fsim:     fsim,
+		faults:   faults,
+		detected: make([]bool, len(faults)),
+		res:      &Result{Circuit: n.Name, TotalFaults: len(faults)},
+		patterns: logic.NewPatternSet(len(n.PIs), 0),
+		patBuf:   make([]bool, len(n.PIs)),
+		live:     make([]fault.Fault, 0, len(faults)),
+		liveIdx:  make([]int, 0, len(faults)),
+		detBy:    make([]int, 0, len(faults)),
+		dropBuf:  make([]int, 0, len(faults)),
+	}
 
-	// Phase 1: random patterns, dropped against the live fault list.
 	if !cfg.SkipRandom {
-		stall := 0
-		for b := 0; b < cfg.RandomBlocks && remaining > 0 && stall < cfg.RandomStall; b++ {
-			block := logic.NewPatternSet(len(n.PIs), logic.WordBits)
-			block.RandFill(rng.Uint64)
-			live, liveIdx := liveFaults(faults, detected)
-			r := fsim.Run(block, live)
-			newDet := 0
-			for i, d := range r.DetectedBy {
-				if d >= 0 {
-					detected[liveIdx[i]] = true
-					newDet++
-				}
-			}
-			if newDet == 0 {
-				stall++
-				continue // drop useless block entirely
-			}
-			stall = 0
-			remaining -= newDet
-			res.RandomPhase += newDet
-			for k := 0; k < block.N; k++ {
-				patterns.Append(block.Pattern(k))
-			}
-		}
+		f.randomPhase()
 	}
-
-	// Phase 2: deterministic PODEM for each remaining fault, dropping other
-	// faults against each new pattern.
-	for fi := range faults {
-		if detected[fi] {
-			continue
-		}
-		cube, status := eng.Generate(faults[fi])
-		switch status {
-		case Redundant:
-			res.Redundant++
-			detected[fi] = true // excluded from coverage denominator handling below
-			continue
-		case Aborted:
-			res.Aborted++
-			continue
-		}
-		bits := fillCube(cube, rng, cfg.FillRandom)
-		one := logic.NewPatternSet(len(n.PIs), 0)
-		one.Append(bits)
-		live, liveIdx := liveFaults(faults, detected)
-		r := fsim.Run(one, live)
-		newDet := 0
-		for i, d := range r.DetectedBy {
-			if d >= 0 {
-				detected[liveIdx[i]] = true
-				newDet++
-			}
-		}
-		if newDet > 0 {
-			patterns.Append(bits)
-			res.DetPhase += newDet
-		}
+	if cfg.Serial {
+		f.deterministicSerial()
+	} else {
+		f.deterministicBatched()
 	}
-
-	// Phase 3: reverse-order static compaction — re-simulate the pattern set
-	// backwards with fault dropping; keep only patterns that detect a fault
-	// not detected by a later pattern.
-	if cfg.Compact && patterns.N > 1 {
-		patterns = compact(fsim, faults, patterns)
+	if cfg.Compact && f.patterns.N > 1 {
+		blockCap := 1 // Serial ablation keeps the one-pattern-at-a-time shape
+		if !cfg.Serial {
+			blockCap = logic.WordBits * fault.NormalizeWords(cfg.Words)
+		}
+		f.patterns = f.compact(blockCap)
 	}
 
 	// Final accounting: one clean fault simulation of the final set, fanned
 	// out across workers (fault-shard results are bit-identical to serial).
-	final, err := fault.RunConcurrentWords(n, patterns, faults, cfg.Workers, cfg.Words)
+	final, err := fault.RunConcurrentWords(n, f.patterns, faults, cfg.Workers, cfg.Words)
 	if err != nil {
 		return nil, err
 	}
-	res.Patterns = patterns
+	res := f.res
+	res.Patterns = f.patterns
 	res.Detected = final.Detected
 	if res.TotalFaults > 0 {
 		res.Coverage = float64(res.Detected) / float64(res.TotalFaults)
 		res.Efficiency = float64(res.Detected+res.Redundant) / float64(res.TotalFaults)
 	}
-	res.Backtracks = eng.Backtracks
-	res.CoverageAt = coverageCurve(final, patterns.N, res.TotalFaults)
+	res.CoverageAt = coverageCurve(final, f.patterns.N, res.TotalFaults)
 	res.Runtime = time.Since(start)
 	return res, nil
 }
 
-func liveFaults(faults []fault.Fault, detected []bool) ([]fault.Fault, []int) {
-	var live []fault.Fault
-	var idx []int
-	for i, f := range faults {
-		if !detected[i] {
-			live = append(live, f)
-			idx = append(idx, i)
+// randomPhase runs phase 1: 64-pattern random blocks dropped against the
+// live fault list, stopping early after RandomStall consecutive blocks with
+// no new detections. Blocks that detect nothing are not appended.
+func (f *flow) randomPhase() {
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	block := logic.NewPatternSet(len(f.net.PIs), logic.WordBits)
+	stall := 0
+	remaining := len(f.faults)
+	for b := 0; b < f.cfg.RandomBlocks && remaining > 0 && stall < f.cfg.RandomStall; b++ {
+		block.RandFill(rng.Uint64)
+		live, liveIdx := f.liveFaults()
+		newDet := f.fsim.RunInto(block, live, f.detBy, f.dropBuf)
+		for i, d := range f.detBy {
+			if d >= 0 {
+				f.detected[liveIdx[i]] = true
+			}
+		}
+		if newDet == 0 {
+			stall++
+			continue // drop useless block entirely
+		}
+		stall = 0
+		remaining -= newDet
+		f.res.RandomPhase += newDet
+		for k := 0; k < block.N; k++ {
+			f.patterns.Append(block.PatternInto(k, f.patBuf))
 		}
 	}
-	return live, idx
+}
+
+// fillSeed derives the RNG seed for the don't-care fill of the fault at
+// global index fi. Splitting per fault — rather than drawing from one
+// shared stream — makes every candidate pattern a pure function of its
+// fault index, which is what lets speculative workers generate candidates
+// out of order and still commit bit-identical results.
+func (f *flow) fillSeed(fi int) int64 {
+	return parallel.SplitSeed(f.cfg.Seed, int64(fi))
+}
+
+// deterministicSerial is phase 2 in the reference shape: one PODEM call and
+// one single-pattern block drop per remaining fault, in fault order. It
+// shares the per-fault fill-seed discipline with the batched flow, so the
+// two produce bit-identical pattern sets.
+func (f *flow) deterministicSerial() {
+	eng := NewShared(f.comp, f.scoap)
+	eng.Guide = f.cfg.Guide
+	eng.BacktrackLim = f.cfg.BacktrackLim
+	one := logic.NewPatternSet(len(f.net.PIs), 0)
+	for fi := range f.faults {
+		if f.detected[fi] {
+			continue
+		}
+		t0 := time.Now()
+		cube, status := eng.Generate(f.faults[fi])
+		switch status {
+		case Redundant:
+			f.res.GenTime += time.Since(t0)
+			f.res.Redundant++
+			f.detected[fi] = true // drop from live lists; excluded from coverage
+			continue
+		case Aborted:
+			f.res.GenTime += time.Since(t0)
+			f.res.Aborted++
+			continue
+		}
+		rng := rand.New(rand.NewSource(f.fillSeed(fi)))
+		bits := fillCube(cube, rng, f.cfg.FillRandom)
+		f.res.GenTime += time.Since(t0)
+		t1 := time.Now()
+		one.Reset()
+		one.Append(bits)
+		live, liveIdx := f.liveFaults()
+		newDet := f.fsim.RunInto(one, live, f.detBy, f.dropBuf)
+		for i, d := range f.detBy {
+			if d >= 0 {
+				f.detected[liveIdx[i]] = true
+			}
+		}
+		f.res.DropTime += time.Since(t1)
+		if newDet > 0 {
+			f.patterns.Append(bits)
+			f.res.DetPhase += newDet
+		}
+	}
+	f.res.Backtracks = eng.Backtracks
 }
 
 func fillCube(cube []logic.V, rng *rand.Rand, random bool) []bool {
@@ -213,32 +300,55 @@ func fillCube(cube []logic.V, rng *rand.Rand, random bool) []bool {
 	return bits
 }
 
-// compact keeps patterns in reverse order that contribute new detections.
-func compact(fsim *fault.Simulator, faults []fault.Fault, p *logic.PatternSet) *logic.PatternSet {
-	detected := make([]bool, len(faults))
-	var keep []int
-	for k := p.N - 1; k >= 0; k-- {
-		one := logic.NewPatternSet(p.Inputs, 0)
-		one.Append(p.Pattern(k))
-		live, liveIdx := liveFaults(faults, detected)
+// compact keeps patterns, sweeping in reverse order, that detect at least
+// one fault no later pattern detects. The sweep re-simulates blockCap
+// patterns per fault-simulation call and attributes detections to patterns
+// with the block's first-detection indices: a pattern survives iff some
+// fault's first detection in the reversed order lands on it — exactly the
+// serial one-pattern-at-a-time dropping rule, so the kept set is
+// independent of blockCap.
+func (f *flow) compact(blockCap int) *logic.PatternSet {
+	p := f.patterns
+	detected := make([]bool, len(f.faults))
+	block := logic.NewPatternSet(p.Inputs, 0)
+	slotPat := make([]int, 0, blockCap) // block slot -> original pattern index
+	keep := make([]bool, p.N)
+	live := make([]fault.Fault, 0, len(f.faults))
+	liveIdx := make([]int, 0, len(f.faults))
+	for k := p.N - 1; k >= 0; {
+		live, liveIdx = live[:0], liveIdx[:0]
+		for i, fl := range f.faults {
+			if !detected[i] {
+				live = append(live, fl)
+				liveIdx = append(liveIdx, i)
+			}
+		}
 		if len(live) == 0 {
 			break
 		}
-		r := fsim.Run(one, live)
-		newDet := 0
-		for i, d := range r.DetectedBy {
+		block.Reset()
+		slotPat = slotPat[:0]
+		for ; k >= 0 && block.N < blockCap; k-- {
+			slotPat = append(slotPat, k)
+			block.Append(p.PatternInto(k, f.patBuf))
+		}
+		if cap(f.detBy) < len(live) {
+			f.detBy = make([]int, len(live))
+		}
+		f.detBy = f.detBy[:len(live)]
+		f.fsim.RunInto(block, live, f.detBy, f.dropBuf)
+		for i, d := range f.detBy {
 			if d >= 0 {
 				detected[liveIdx[i]] = true
-				newDet++
+				keep[slotPat[d]] = true
 			}
-		}
-		if newDet > 0 {
-			keep = append(keep, k)
 		}
 	}
 	out := logic.NewPatternSet(p.Inputs, 0)
-	for i := len(keep) - 1; i >= 0; i-- {
-		out.Append(p.Pattern(keep[i]))
+	for k := 0; k < p.N; k++ {
+		if keep[k] {
+			out.Append(p.PatternInto(k, f.patBuf))
+		}
 	}
 	return out
 }
@@ -267,11 +377,18 @@ func coverageCurve(r *fault.Result, nPatterns, total int) []CoveragePoint {
 // RandomOnly generates nPatterns random patterns and returns the coverage
 // curve — the baseline against which the ATPG curve is compared (figure F2).
 func RandomOnly(n *circuit.Netlist, nPatterns int, seed int64) (*Result, error) {
+	return RandomOnlyWords(n, nPatterns, seed, 0, 0)
+}
+
+// RandomOnlyWords is RandomOnly with the fault-simulation fan-out knobs
+// exposed: workers shards the fault list (<= 0 selects GOMAXPROCS) and
+// words selects the lane width. Results are bit-identical for any values.
+func RandomOnlyWords(n *circuit.Netlist, nPatterns int, seed int64, workers, words int) (*Result, error) {
 	faults := fault.Universe(n)
 	rng := rand.New(rand.NewSource(seed))
 	p := logic.NewPatternSet(len(n.PIs), nPatterns)
 	p.RandFill(rng.Uint64)
-	r, err := fault.RunConcurrent(n, p, faults, 0)
+	r, err := fault.RunConcurrentWords(n, p, faults, workers, words)
 	if err != nil {
 		return nil, err
 	}

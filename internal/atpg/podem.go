@@ -7,6 +7,7 @@ package atpg
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/circuit"
 	"repro/internal/fault"
@@ -65,8 +66,20 @@ type Engine struct {
 	decisionStack []decision
 	visit         []int64 // epoch stamps for xPathExists
 	epoch         int64
-	dfBuf         []int
 	stackBuf      []int32
+	front         []uint64 // implyPI frontier bitmap over topological positions
+
+	// Incremental search state, maintained by evalGate so the per-decision
+	// O(gates) scans of the textbook loop disappear: dCount is the number of
+	// POs currently carrying a fault effect (detected() is a comparison);
+	// dfList/dfPos hold the current D-frontier as an unordered set with
+	// swap-delete membership. Between Generate calls the value array rests
+	// at the all-X fixpoint (empty frontier, zero dCount), which also makes
+	// the per-fault full-circuit baseline implication unnecessary: the all-X
+	// network looks identical under every fault injection.
+	dCount int
+	dfList []int32
+	dfPos  []int32
 }
 
 type decision struct {
@@ -83,45 +96,93 @@ func New(n *circuit.Netlist) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("atpg: %w", err)
 	}
-	return &Engine{
-		Net:          n,
-		Scoap:        circuit.ComputeSCOAPCompiled(c),
+	return NewShared(c, circuit.ComputeSCOAPCompiled(c)), nil
+}
+
+// NewShared builds a PODEM engine over an already-compiled IR and an
+// already-computed SCOAP table, allocating only the engine's private search
+// state. The speculative flow hands one engine per worker the same IR and
+// the same SCOAP — both are immutable after construction — so spinning up a
+// worker pool costs O(gates) per worker, not a recompile or a SCOAP pass.
+func NewShared(c *circuit.Compiled, scoap *circuit.SCOAP) *Engine {
+	e := &Engine{
+		Net:          c.Net,
+		Scoap:        scoap,
 		BacktrackLim: 10000,
 		c:            c,
 		vals:         make([]logic.V, c.NumGates()),
 		visit:        make([]int64, c.NumGates()),
-	}, nil
-}
-
-// imply performs full five-valued forward implication with the target fault
-// injected, from the current PI assignments (piVals, indexed by PI order;
-// X means unassigned).
-func (e *Engine) imply(piVals []logic.V) {
-	e.Implications++
-	for _, id := range e.c.Order {
-		e.evalGate(int(id), piVals)
+		front:        make([]uint64, (c.NumGates()+63)/64),
+		dfPos:        make([]int32, c.NumGates()),
 	}
+	for i := range e.vals {
+		e.vals[i] = logic.VX // the resting all-X fixpoint Generate relies on
+	}
+	for i := range e.dfPos {
+		e.dfPos[i] = -1
+	}
+	return e
 }
 
-// implyPI incrementally re-implies after a single PI assignment change:
-// only the PI's structural fanout cone can change, and the fault site's
-// downstream effects are contained in that cone whenever the site is. The
-// cone comes from the shared IR's lazy cache, so concurrent engines over
-// one netlist compute each cone once.
+// implyPI incrementally re-implies after a single PI assignment change.
+// Only gates an actual value change reaches are re-evaluated: the walk is
+// event-driven over a self-clearing frontier bitmap indexed by topological
+// position (the same scheme as the fault simulator's cone walk), so a
+// change masked by a controlling side input stops paying immediately
+// instead of sweeping the PI's full structural cone. Fanouts always sit at
+// strictly higher positions, so each gate is evaluated at most once, after
+// all of its changed fanins — the fixpoint is identical to a full cone
+// sweep, which is what keeps Generate outcomes bit-identical.
 func (e *Engine) implyPI(piIdx int, piVals []logic.V) {
 	e.Implications++
-	for _, id := range e.c.Cone(e.Net.PIs[piIdx]) {
-		e.evalGate(int(id), piVals)
+	c := e.c
+	id := e.Net.PIs[piIdx]
+	old := e.vals[id]
+	e.evalGate(id, piVals)
+	if e.vals[id] == old {
+		return
+	}
+	bm := e.front
+	maxW := -1
+	for _, fo := range c.Fanout(id) {
+		tp := int(c.Tpos[fo])
+		bm[tp>>6] |= 1 << uint(tp&63)
+		if tw := tp >> 6; tw > maxW {
+			maxW = tw
+		}
+	}
+	for w := int(c.Tpos[id]) >> 6; w <= maxW; w++ {
+		for bm[w] != 0 {
+			b := bits.TrailingZeros64(bm[w])
+			bm[w] &^= 1 << uint(b)
+			g := int(c.Order[w<<6|b])
+			prev := e.vals[g]
+			e.evalGate(g, piVals)
+			if e.vals[g] == prev {
+				continue
+			}
+			for _, fo := range c.Fanout(g) {
+				tp := int(c.Tpos[fo])
+				bm[tp>>6] |= 1 << uint(tp&63)
+				if tw := tp >> 6; tw > maxW {
+					maxW = tw
+				}
+			}
+		}
 	}
 }
 
 // evalGate recomputes one gate's five-valued output from its fanins with
-// fault injection applied.
+// fault injection applied, and keeps the incremental search state current:
+// the PO fault-effect count and the gate's D-frontier membership. Both
+// depend only on the gate's value and its fanin values, and any change to
+// either re-evaluates the gate, so updating here is exhaustive.
 func (e *Engine) evalGate(id int, piVals []logic.V) {
 	c := e.c
 	fanin := c.Fanin(id)
 	var v logic.V
-	switch c.Types[id] {
+	t := c.Types[id]
+	switch t {
 	case circuit.Input, circuit.DFF:
 		v = piVals[c.PIPos[id]]
 	case circuit.Buf:
@@ -133,7 +194,7 @@ func (e *Engine) evalGate(id int, piVals []logic.V) {
 		for p := 1; p < len(fanin); p++ {
 			v = logic.And(v, e.in(id, fanin, p))
 		}
-		if c.Types[id] == circuit.Nand {
+		if t == circuit.Nand {
 			v = v.Not()
 		}
 	case circuit.Or, circuit.Nor:
@@ -141,7 +202,7 @@ func (e *Engine) evalGate(id int, piVals []logic.V) {
 		for p := 1; p < len(fanin); p++ {
 			v = logic.Or(v, e.in(id, fanin, p))
 		}
-		if c.Types[id] == circuit.Nor {
+		if t == circuit.Nor {
 			v = v.Not()
 		}
 	case circuit.Xor, circuit.Xnor:
@@ -149,14 +210,53 @@ func (e *Engine) evalGate(id int, piVals []logic.V) {
 		for p := 1; p < len(fanin); p++ {
 			v = logic.Xor(v, e.in(id, fanin, p))
 		}
-		if c.Types[id] == circuit.Xnor {
+		if t == circuit.Xnor {
 			v = v.Not()
 		}
 	}
 	if id == e.faultGate && e.faultPin < 0 {
 		v = e.injectStem(v)
 	}
+	old := e.vals[id]
 	e.vals[id] = v
+	if c.POIdx[id] >= 0 && old.IsD() != v.IsD() {
+		if v.IsD() {
+			e.dCount++
+		} else {
+			e.dCount--
+		}
+	}
+	if t != circuit.Input {
+		inDF := false
+		if v == logic.VX {
+			for p := range fanin {
+				if e.in(id, fanin, p).IsD() {
+					inDF = true
+					break
+				}
+			}
+		}
+		e.setFrontier(id, inDF)
+	}
+}
+
+// setFrontier inserts or removes a gate from the maintained D-frontier set.
+func (e *Engine) setFrontier(id int, in bool) {
+	cur := e.dfPos[id] >= 0
+	if in == cur {
+		return
+	}
+	if in {
+		e.dfPos[id] = int32(len(e.dfList))
+		e.dfList = append(e.dfList, int32(id))
+		return
+	}
+	p := e.dfPos[id]
+	last := e.dfList[len(e.dfList)-1]
+	e.dfList[p] = last
+	e.dfPos[last] = p
+	e.dfList = e.dfList[:len(e.dfList)-1]
+	e.dfPos[id] = -1
 }
 
 // in returns the five-valued value on input pin p of gate id, applying the
@@ -188,15 +288,9 @@ func (e *Engine) injectStem(good logic.V) logic.V {
 	}
 }
 
-// detected reports whether any PO currently carries a fault effect.
-func (e *Engine) detected() bool {
-	for _, po := range e.Net.POs {
-		if e.vals[po].IsD() {
-			return true
-		}
-	}
-	return false
-}
+// detected reports whether any PO currently carries a fault effect, from
+// the count evalGate maintains.
+func (e *Engine) detected() bool { return e.dCount > 0 }
 
 // siteValue returns the good value at the fault site line.
 func (e *Engine) siteValue() logic.V {
@@ -204,28 +298,6 @@ func (e *Engine) siteValue() logic.V {
 		return e.vals[e.faultGate].Good()
 	}
 	return e.vals[e.c.Fanin(e.faultGate)[e.faultPin]].Good()
-}
-
-// dFrontier collects gates whose output is X but that have a D/D' input:
-// candidates for fault-effect propagation. The returned slice is reused
-// across calls.
-func (e *Engine) dFrontier() []int {
-	df := e.dfBuf[:0]
-	for _, id32 := range e.c.Order {
-		id := int(id32)
-		if e.c.Types[id] == circuit.Input || e.vals[id] != logic.VX {
-			continue
-		}
-		fanin := e.c.Fanin(id)
-		for p := range fanin {
-			if e.in(id, fanin, p).IsD() {
-				df = append(df, id)
-				break
-			}
-		}
-	}
-	e.dfBuf = df
-	return df
 }
 
 // xPathExists reports whether a path of X-valued gates connects gate id to
@@ -276,14 +348,17 @@ func (e *Engine) objective() (gate int, val logic.V, ok bool) {
 		return 0, 0, false // fault cannot be activated under this assignment
 	}
 	// Propagate: pick the D-frontier gate closest to an output (min CO) and
-	// set one of its X side-inputs to the non-controlling value.
-	df := e.dFrontier()
+	// set one of its X side-inputs to the non-controlling value. The
+	// maintained set is unordered, so ties break on topological position —
+	// the same gate the old in-order full scan would have picked first.
 	best := -1
-	for _, id := range df {
+	for _, id32 := range e.dfList {
+		id := int(id32)
 		if !e.xPathExists(id) {
 			continue
 		}
-		if best < 0 || e.Scoap.CO[id] < e.Scoap.CO[best] {
+		if best < 0 || e.Scoap.CO[id] < e.Scoap.CO[best] ||
+			(e.Scoap.CO[id] == e.Scoap.CO[best] && e.c.Tpos[id] < e.c.Tpos[best]) {
 			best = id
 		}
 	}
@@ -391,6 +466,12 @@ func (e *Engine) pickInput(id int, fanin []int32, want logic.V, allNeeded bool) 
 
 // Generate runs PODEM for one fault. On Detected it returns the test cube
 // as five-valued PI assignments (VX = don't care).
+//
+// The engine enters with its value array at the all-X fixpoint — which is
+// identical under every fault injection, so no per-fault baseline
+// implication is needed — and restores it on every exit path by unwinding
+// the remaining decisions, each an event-driven cone walk over exactly the
+// state the search had dirtied.
 func (e *Engine) Generate(f fault.Fault) ([]logic.V, Status) {
 	e.faultGate, e.faultPin, e.faultSA = f.Gate, f.Pin, f.SA
 	piVals := make([]logic.V, len(e.Net.PIs))
@@ -399,11 +480,11 @@ func (e *Engine) Generate(f fault.Fault) ([]logic.V, Status) {
 	}
 	e.decisionStack = e.decisionStack[:0]
 	backtracks := 0
-	e.imply(piVals) // establish the all-X baseline once
 	for {
 		if e.detected() {
 			out := make([]logic.V, len(piVals))
 			copy(out, piVals)
+			e.unwind(piVals)
 			return out, Detected
 		}
 		gate, val, ok := e.objective()
@@ -421,7 +502,7 @@ func (e *Engine) Generate(f fault.Fault) ([]logic.V, Status) {
 		// Dead end: backtrack.
 		for {
 			if len(e.decisionStack) == 0 {
-				return nil, Redundant
+				return nil, Redundant // fully unwound: already back at all-X
 			}
 			top := &e.decisionStack[len(e.decisionStack)-1]
 			if !top.flipped {
@@ -432,6 +513,7 @@ func (e *Engine) Generate(f fault.Fault) ([]logic.V, Status) {
 				backtracks++
 				e.Backtracks++
 				if backtracks > e.BacktrackLim {
+					e.unwind(piVals)
 					return nil, Aborted
 				}
 				break
@@ -440,5 +522,16 @@ func (e *Engine) Generate(f fault.Fault) ([]logic.V, Status) {
 			e.implyPI(top.pi, piVals)
 			e.decisionStack = e.decisionStack[:len(e.decisionStack)-1]
 		}
+	}
+}
+
+// unwind pops every remaining decision, re-implying each PI back to X, and
+// leaves the value array at the all-X fixpoint the next Generate expects.
+func (e *Engine) unwind(piVals []logic.V) {
+	for len(e.decisionStack) > 0 {
+		top := e.decisionStack[len(e.decisionStack)-1]
+		piVals[top.pi] = logic.VX
+		e.implyPI(top.pi, piVals)
+		e.decisionStack = e.decisionStack[:len(e.decisionStack)-1]
 	}
 }

@@ -2,6 +2,8 @@ package circuit
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -299,6 +301,124 @@ func TestDecoder(t *testing.T) {
 	}
 }
 
+// evalNetlist computes all gate values for one input assignment, keyed by
+// PI gate ID — a tiny reference evaluator for generator functional tests.
+func evalNetlist(t *testing.T, n *Netlist, in map[int]bool) []bool {
+	t.Helper()
+	vals := make([]bool, len(n.Gates))
+	for _, id := range n.TopoOrder() {
+		g := n.Gates[id]
+		if g.Type == Input {
+			vals[id] = in[id]
+			continue
+		}
+		var v bool
+		switch g.Type {
+		case Buf, DFF:
+			v = vals[g.Fanin[0]]
+		case Not:
+			v = !vals[g.Fanin[0]]
+		case And, Nand:
+			v = true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			v = v != (g.Type == Nand)
+		case Or, Nor:
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			v = v != (g.Type == Nor)
+		case Xor, Xnor:
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			v = v != (g.Type == Xnor)
+		default:
+			t.Fatalf("unexpected gate type %v", g.Type)
+		}
+		vals[id] = v
+	}
+	return vals
+}
+
+// TestDecoderPredecoded checks the two-level predecode structure used above
+// width 8: fanins stay within the simulator bound and the outputs remain a
+// correct one-hot decode of the select value.
+func TestDecoderPredecoded(t *testing.T) {
+	d := Decoder(11)
+	if len(d.POs) != 2048 {
+		t.Fatalf("decoder outputs = %d", len(d.POs))
+	}
+	for _, g := range d.Gates {
+		if len(g.Fanin) > 8 {
+			t.Fatalf("gate %s fanin %d exceeds simulator bound", g.Name, len(g.Fanin))
+		}
+	}
+	for _, sel := range []int{0, 1, 1024, 1027, 2047} {
+		in := map[int]bool{}
+		for i := 0; i < 11; i++ {
+			in[d.PIs[i]] = sel>>uint(i)&1 == 1
+		}
+		vals := evalNetlist(t, d, in)
+		for v, po := range d.POs {
+			if vals[po] != (v == sel) {
+				t.Fatalf("sel=%d: output o%d = %v", sel, v, vals[po])
+			}
+		}
+	}
+}
+
+// TestGatedParity checks the gated signature-monitor bank: each output must
+// equal (parity of the unit's data inputs) AND (conjunction of its enables).
+func TestGatedParity(t *testing.T) {
+	const units, chain, enable = 3, 5, 9
+	n := GatedParity(units, chain, enable)
+	if len(n.POs) != units {
+		t.Fatalf("outputs = %d, want %d", len(n.POs), units)
+	}
+	piPerUnit := chain + 1 + enable
+	if len(n.PIs) != units*piPerUnit {
+		t.Fatalf("inputs = %d, want %d", len(n.PIs), units*piPerUnit)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		in := map[int]bool{}
+		for _, pi := range n.PIs {
+			in[pi] = rng.Intn(2) == 1
+		}
+		// Bias some trials toward open enables so both AND outcomes occur.
+		if trial%2 == 0 {
+			for u := 0; u < units; u++ {
+				for i := 0; i < enable; i++ {
+					id, ok := n.GateByName(fmt.Sprintf("en%d_%d", u, i))
+					if !ok {
+						t.Fatal("missing enable input")
+					}
+					in[id.ID] = true
+				}
+			}
+		}
+		vals := evalNetlist(t, n, in)
+		for u := 0; u < units; u++ {
+			want := true
+			for i := 0; i < enable; i++ {
+				id, _ := n.GateByName(fmt.Sprintf("en%d_%d", u, i))
+				want = want && in[id.ID]
+			}
+			parity := false
+			for i := 0; i <= chain; i++ {
+				id, _ := n.GateByName(fmt.Sprintf("d%d_%d", u, i))
+				parity = parity != in[id.ID]
+			}
+			want = want && parity
+			if vals[n.POs[u]] != want {
+				t.Fatalf("trial %d unit %d: output %v, want %v", trial, u, vals[n.POs[u]], want)
+			}
+		}
+	}
+}
+
 func TestGeneratorPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"adder":   func() { RippleAdder(0) },
@@ -308,6 +428,8 @@ func TestGeneratorPanics(t *testing.T) {
 		"alu":     func() { ALUSlice(0) },
 		"random":  func() { Random(1, 10, 0) },
 		"decoder": func() { Decoder(0) },
+		"decwide": func() { Decoder(17) },
+		"gparity": func() { GatedParity(0, 5, 4) },
 	} {
 		func() {
 			defer func() {

@@ -340,31 +340,124 @@ func Random(nIn, nGates int, seed int64) *Netlist {
 	return c
 }
 
-// Decoder builds an n-to-2^n decoder.
+// Decoder builds an n-to-2^n decoder. Widths above 8 use the standard
+// two-level predecode structure: the select bits split into groups of up
+// to 4, each group feeds a small one-hot predecoder, and every output AND
+// combines one line from each group — keeping all gate fanins within the
+// simulator's bound while the primary-output count grows exponentially.
 func Decoder(n int) *Netlist {
-	if n < 1 || n > 8 {
-		panic("circuit: decoder select width must be in [1,8]")
+	if n < 1 || n > 16 {
+		panic("circuit: decoder select width must be in [1,16]")
 	}
 	c := New(fmt.Sprintf("dec%d", n))
 	for i := 0; i < n; i++ {
 		c.MustAddGate(fmt.Sprintf("s%d", i), Input)
 		c.MustAddGate(fmt.Sprintf("ns%d", i), Not, fmt.Sprintf("s%d", i))
 	}
-	for v := 0; v < 1<<uint(n); v++ {
-		terms := make([]string, n)
-		for i := 0; i < n; i++ {
-			if v>>uint(i)&1 == 1 {
-				terms[i] = fmt.Sprintf("s%d", i)
-			} else {
-				terms[i] = fmt.Sprintf("ns%d", i)
+	// lit returns the true or complemented select literal.
+	lit := func(i int, one bool) string {
+		if one {
+			return fmt.Sprintf("s%d", i)
+		}
+		return fmt.Sprintf("ns%d", i)
+	}
+	// line materializes the one-hot predecode line for value v of the select
+	// group [lo, lo+w); for single-literal groups it is the literal itself.
+	line := func(lo, w, v int) string {
+		if w == 1 {
+			return lit(lo, v == 1)
+		}
+		name := fmt.Sprintf("p%d_%d", lo, v)
+		if _, ok := c.GateByName(name); !ok {
+			terms := make([]string, w)
+			for i := 0; i < w; i++ {
+				terms[i] = lit(lo+i, v>>uint(i)&1 == 1)
 			}
+			c.MustAddGate(name, And, terms...)
+		}
+		return name
+	}
+	// Group widths: direct literals up to n==8; predecoded groups of <=4
+	// above, so output ANDs have fanin ceil(n/4) <= 4.
+	groupW := 1
+	if n > 8 {
+		groupW = 4
+	}
+	for v := 0; v < 1<<uint(n); v++ {
+		var terms []string
+		for lo := 0; lo < n; lo += groupW {
+			w := groupW
+			if lo+w > n {
+				w = n - lo
+			}
+			terms = append(terms, line(lo, w, v>>uint(lo)&(1<<uint(w)-1)))
 		}
 		out := fmt.Sprintf("o%d", v)
-		if n == 1 {
+		if len(terms) == 1 {
 			c.MustAddGate(out, Buf, terms[0])
 		} else {
 			c.MustAddGate(out, And, terms...)
 		}
+		if err := c.MarkOutput(out); err != nil {
+			panic(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// GatedParity builds a bank of `units` independent signature monitors: each
+// unit accumulates a chain of `chain` cascaded XOR stages over its own data
+// inputs and drives its primary output through an AND with a wide
+// (`enable`-input) enable conjunction. The structure models the classic
+// random-pattern-resistant logic of bus monitors and MISR-style checkers
+// behind address-decoded enables, and it is the adversarial case for
+// per-pattern fault dropping: a fault in a chain is activated by roughly
+// half of all patterns and its effect ripples through the remaining XOR
+// stages (XOR never masks) only to be blocked at the enable gate, which a
+// random fill opens with probability 2^-enable. Faults therefore stay live
+// — and expensive to walk — for almost the entire pattern set, while each
+// PODEM call resolves in the unit's small cone.
+func GatedParity(units, chain, enable int) *Netlist {
+	if units < 1 || chain < 2 || enable < 1 || enable > 16 {
+		panic("circuit: gated parity needs units >= 1, chain >= 2, enable in [1,16]")
+	}
+	c := New(fmt.Sprintf("gparity%dx%d", units, chain))
+	for u := 0; u < units; u++ {
+		d := make([]string, chain+1)
+		for i := range d {
+			d[i] = fmt.Sprintf("d%d_%d", u, i)
+			c.MustAddGate(d[i], Input)
+		}
+		en := make([]string, enable)
+		for i := range en {
+			en[i] = fmt.Sprintf("en%d_%d", u, i)
+			c.MustAddGate(en[i], Input)
+		}
+		// Cascaded XOR chain: stage j folds data tap j+1 into the signature.
+		prev := d[0]
+		for j := 1; j <= chain; j++ {
+			name := fmt.Sprintf("sig%d_%d", u, j)
+			c.MustAddGate(name, Xor, prev, d[j])
+			prev = name
+		}
+		// Enable conjunction, split to respect the simulator fanin bound.
+		enName := fmt.Sprintf("en%d", u)
+		if enable == 1 {
+			enName = en[0]
+		} else if enable <= 8 {
+			c.MustAddGate(enName, And, en...)
+		} else {
+			lo := fmt.Sprintf("enlo%d", u)
+			hi := fmt.Sprintf("enhi%d", u)
+			c.MustAddGate(lo, And, en[:8]...)
+			c.MustAddGate(hi, And, en[8:]...)
+			c.MustAddGate(enName, And, lo, hi)
+		}
+		out := fmt.Sprintf("o%d", u)
+		c.MustAddGate(out, And, prev, enName)
 		if err := c.MarkOutput(out); err != nil {
 			panic(err)
 		}

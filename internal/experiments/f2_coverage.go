@@ -24,12 +24,14 @@ func RunF2(cfg Config) (*F2Result, error) {
 		c = circuit.ArrayMultiplier(4)
 	}
 	nRandom := 512
-	rnd, err := atpg.RandomOnly(c, nRandom, cfg.Seed)
+	rnd, err := atpg.RandomOnlyWords(c, nRandom, cfg.Seed, cfg.Workers, cfg.Words)
 	if err != nil {
 		return nil, err
 	}
 	acfg := atpg.DefaultConfig()
 	acfg.Seed = cfg.Seed
+	acfg.Workers = cfg.Workers
+	acfg.Words = cfg.Words
 	det, err := atpg.Run(c, acfg)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/circuit"
@@ -13,6 +14,11 @@ type T4Row struct {
 	NaivePats   int
 	NaiveAborts int
 	NaiveBack   int64
+	// SerialDet is the deterministic-phase wall time of the Serial
+	// reference flow; Result carries the batched flow's GenTime/DropTime.
+	// The serial run doubles as the bit-identity oracle for the batched
+	// commit replay.
+	SerialDet time.Duration
 }
 
 // T4Result holds table T4.
@@ -36,6 +42,11 @@ func RunT4(cfg Config) (*T4Result, error) {
 		circuit.Comparator(16),
 		circuit.ParityTree(16),
 		circuit.Random(20, 300, 1),
+		// The 2000-gate random-pattern-resistant tier: parity chains behind
+		// wide enables defeat the random phase, so nearly the whole fault
+		// universe reaches the deterministic phase — the batching rebuild's
+		// acceptance case.
+		circuit.GatedParity(32, 60, 12),
 	}
 	if cfg.Quick {
 		suite = []*circuit.Netlist{
@@ -46,7 +57,7 @@ func RunT4(cfg Config) (*T4Result, error) {
 	}
 	res := &T4Result{}
 	tw := cfg.table()
-	fmt.Fprintf(tw, "circuit\tgates\tfaults\tcoverage\teff.\tpatterns\taborts\tbacktracks\truntime\tpat(naive)\tabort(naive)\n")
+	fmt.Fprintf(tw, "circuit\tgates\tfaults\tcoverage\teff.\tpatterns\taborts\tbacktracks\truntime\tdet\tdet(serial)\tpat(naive)\tabort(naive)\n")
 	for _, c := range suite {
 		guided := atpg.DefaultConfig()
 		guided.Seed = cfg.Seed
@@ -57,17 +68,32 @@ func RunT4(cfg Config) (*T4Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		serial := guided
+		serial.Serial = true
+		rs, err := atpg.Run(c, serial)
+		if err != nil {
+			return nil, err
+		}
+		if rs.Patterns.N != rg.Patterns.N || rs.Detected != rg.Detected ||
+			rs.Redundant != rg.Redundant || rs.Aborted != rg.Aborted || rs.Backtracks != rg.Backtracks {
+			return nil, fmt.Errorf("t4: %s: batched flow diverged from serial reference (patterns %d/%d, detected %d/%d)",
+				c.Name, rg.Patterns.N, rs.Patterns.N, rg.Detected, rs.Detected)
+		}
 		naive := guided
 		naive.Guide = atpg.GuideNaive
 		rn, err := atpg.Run(c, naive)
 		if err != nil {
 			return nil, err
 		}
-		row := T4Row{Result: rg, NaivePats: rn.Patterns.N, NaiveAborts: rn.Aborted, NaiveBack: rn.Backtracks}
+		row := T4Row{
+			Result: rg, NaivePats: rn.Patterns.N, NaiveAborts: rn.Aborted, NaiveBack: rn.Backtracks,
+			SerialDet: rs.GenTime + rs.DropTime,
+		}
 		res.Rows = append(res.Rows, row)
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f%%\t%.2f%%\t%d\t%d\t%d\t%v\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f%%\t%.2f%%\t%d\t%d\t%d\t%v\t%v\t%v\t%d\t%d\n",
 			c.Name, c.NumLogicGates(), rg.TotalFaults, rg.Coverage*100, rg.Efficiency*100,
 			rg.Patterns.N, rg.Aborted, rg.Backtracks, rg.Runtime.Round(1e6),
+			(rg.GenTime + rg.DropTime).Round(1e6), row.SerialDet.Round(1e6),
 			rn.Patterns.N, rn.Aborted)
 	}
 	return res, tw.Flush()

@@ -65,6 +65,16 @@ type Simulator struct {
 	undoIdx []int32
 	undoVal []logic.Word
 	dirty   []int32 // scratch: PO indices touched by the last detectLanes
+	piBuf   []logic.Word
+
+	// Staged-probe state (Stage/Probe): the lane count and tail masks of the
+	// pattern set whose good values currently occupy the value lanes, plus
+	// the set identity and pattern count for incremental re-staging of
+	// append-only sets.
+	stagedAct   int
+	stagedMasks [MaxWords]logic.Word
+	stagedSet   *logic.PatternSet
+	stagedN     int
 }
 
 // NewSimulator compiles a single-word (W=1) fault simulator for the
@@ -412,19 +422,42 @@ type Result struct {
 // survivors — the faults that were going to need every lane anyway.
 // Detection indices and coverage are bit-identical for every lane width.
 func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	res.Detected = s.RunInto(p, faults, res.DetectedBy, nil)
+	if res.Total > 0 {
+		res.Coverage = float64(res.Detected) / float64(res.Total)
+	}
+	return res
+}
+
+// RunInto is the allocation-free core of Run, for callers that drop pattern
+// blocks in a hot loop (the ATPG flow runs one per deterministic block and
+// one per compaction block): detBy must have length len(faults) and receives
+// each fault's first-detection pattern index (-1 if undetected); liveBuf is
+// an optional worklist scratch buffer reused across calls (grown as needed).
+// Returns the number of detected faults. Results are identical to Run for
+// any lane width.
+func (s *Simulator) RunInto(p *logic.PatternSet, faults []Fault, detBy []int, liveBuf []int) int {
 	if p.Inputs != len(s.Net.PIs) {
 		panic(fmt.Sprintf("fault: pattern width %d != PIs %d", p.Inputs, len(s.Net.PIs)))
 	}
-	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
-	for i := range res.DetectedBy {
-		res.DetectedBy[i] = -1
+	if len(detBy) != len(faults) {
+		panic(fmt.Sprintf("fault: detBy length %d != faults %d", len(detBy), len(faults)))
 	}
-	live := make([]int, len(faults))
-	for i := range live {
-		live[i] = i
+	s.stagedAct = 0 // the group loop below clobbers the staged good values
+	detected := 0
+	for i := range detBy {
+		detBy[i] = -1
+	}
+	live := liveBuf[:0]
+	for i := range faults {
+		live = append(live, i)
 	}
 	W := s.w
-	pi := make([]logic.Word, len(s.Net.PIs)*W)
+	if need := len(s.Net.PIs) * W; cap(s.piBuf) < need {
+		s.piBuf = make([]logic.Word, need)
+	}
+	pi := s.piBuf[:len(s.Net.PIs)*W]
 	var masks, diff [MaxWords]logic.Word
 	words := p.Words()
 	for base := 0; base < words && len(live) > 0; base += W {
@@ -448,8 +481,8 @@ func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
 			diff[0] = 0
 			s.detectLanes(faults[fi], 0, 1, masks[:1], diff[:1], nil)
 			if diff[0] != 0 {
-				res.DetectedBy[fi] = base*logic.WordBits + bits.TrailingZeros64(diff[0])
-				res.Detected++
+				detBy[fi] = base*logic.WordBits + bits.TrailingZeros64(diff[0])
+				detected++
 			} else {
 				kept = append(kept, fi)
 			}
@@ -472,8 +505,8 @@ func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
 					}
 				}
 				if det >= 0 {
-					res.DetectedBy[fi] = det
-					res.Detected++
+					detBy[fi] = det
+					detected++
 				} else {
 					kept = append(kept, fi)
 				}
@@ -481,10 +514,73 @@ func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
 			live = kept
 		}
 	}
-	if res.Total > 0 {
-		res.Coverage = float64(res.Detected) / float64(res.Total)
+	return detected
+}
+
+// Stage loads the good-circuit response of every pattern in p into the
+// value lanes, preparing the simulator for Probe queries against a frozen
+// pattern set. The set must fit one lane group (p.Words() <= Words()) and be
+// non-empty. Staging pays the good simulation once; each subsequent Probe
+// is a single event-driven cone walk, which is what makes per-fault
+// liveness queries against a pending pattern block cheap.
+//
+// Re-staging the same set is incremental: if p is the set staged last time
+// and has only grown since (append-only — the caller must not mutate or
+// reset-and-refill a staged set between Stages), only the lane words that
+// gained patterns are re-simulated, so staging after each append costs one
+// single-lane pass instead of a full-width one. Any Run/RunInto/Dictionary
+// call invalidates the staging; the next Stage pays the full pass again.
+func (s *Simulator) Stage(p *logic.PatternSet) {
+	if p.Inputs != len(s.Net.PIs) {
+		panic(fmt.Sprintf("fault: pattern width %d != PIs %d", p.Inputs, len(s.Net.PIs)))
 	}
-	return res
+	words := p.Words()
+	if words == 0 || words > s.w {
+		panic(fmt.Sprintf("fault: Stage needs 1..%d pattern words, got %d", s.w, words))
+	}
+	lo := 0
+	if s.stagedAct > 0 && s.stagedSet == p && p.N >= s.stagedN {
+		if p.N == s.stagedN {
+			return // nothing appended since the last Stage
+		}
+		lo = s.stagedN / logic.WordBits // first lane word with new bits
+	}
+	W := s.w
+	if need := len(s.Net.PIs) * W; cap(s.piBuf) < need {
+		s.piBuf = make([]logic.Word, need)
+	}
+	pi := s.piBuf[:len(s.Net.PIs)*W]
+	for i := range s.Net.PIs {
+		pb := i * W
+		for l := lo; l < words; l++ {
+			pi[pb+l] = p.Bits[i][l]
+		}
+	}
+	s.good.BlockRange(pi, lo, words)
+	s.stagedAct = words
+	s.stagedSet = p
+	s.stagedN = p.N
+	for l := 0; l < words; l++ {
+		s.stagedMasks[l] = p.TailMask(l)
+	}
+}
+
+// Probe reports whether fault f is detected by any pattern of the staged
+// set (see Stage). Results are identical to a RunInto call over the same
+// set and the single fault.
+func (s *Simulator) Probe(f Fault) bool {
+	act := s.stagedAct
+	if act == 0 {
+		panic("fault: Probe without Stage")
+	}
+	var diff [MaxWords]logic.Word
+	s.detectLanes(f, 0, act, s.stagedMasks[:act], diff[:act], nil)
+	for l := 0; l < act; l++ {
+		if diff[l] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // RunSerial is the baseline used by experiment T7: identical algorithm but
@@ -492,6 +588,7 @@ func (s *Simulator) Run(p *logic.PatternSet, faults []Fault) *Result {
 // forgoing both the 64-way and the multi-word parallelism. Fault dropping
 // is still applied.
 func (s *Simulator) RunSerial(p *logic.PatternSet, faults []Fault) *Result {
+	s.stagedAct = 0
 	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
 	for i := range res.DetectedBy {
 		res.DetectedBy[i] = -1
@@ -572,6 +669,7 @@ func newSignatures(nFaults, nPOs, words int) []*Signature {
 // lanes are written and cleared, so sparse signatures never pay a full
 // clear).
 func (s *Simulator) dictionaryBlock(p *logic.PatternSet, faults []Fault, base int, sigs []*Signature, pi, perPO []logic.Word) {
+	s.stagedAct = 0
 	W := s.w
 	words := p.Words()
 	act := W

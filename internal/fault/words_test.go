@@ -341,3 +341,97 @@ func TestMultiWordDictionaryMatchesRun(t *testing.T) {
 		})
 	}
 }
+
+// Property: RunInto with caller-owned scratch returns exactly Run's results
+// when the same buffers are reused across many calls on different pattern
+// sets — no stale detection state or worklist contents leak between drops.
+func TestRunIntoMatchesRunReusedScratch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(5+rng.Intn(6), 30+rng.Intn(90), seed)
+		faults := Universe(c)
+		words := laneWidths[rng.Intn(len(laneWidths))]
+		fsim, err := NewSimulatorWords(c, words)
+		if err != nil {
+			return false
+		}
+		detBy := make([]int, len(faults))
+		liveBuf := make([]int, 0, len(faults))
+		for round := 0; round < 4; round++ {
+			nPat := 1 + rng.Intn(200)
+			p := logic.NewPatternSet(len(c.PIs), nPat)
+			p.RandFill(rng.Uint64)
+			want := fsim.Run(p, faults)
+			got := fsim.RunInto(p, faults, detBy, liveBuf)
+			if got != want.Detected {
+				return false
+			}
+			for i := range faults {
+				if detBy[i] != want.DetectedBy[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Probe against a staged pattern set answers exactly like a
+// RunInto call over the same set and a single fault — across incremental
+// re-staging of an append-only set (the batched ATPG flow's usage, where
+// each committed pattern triggers a cheap tail-lane restage) and across a
+// mid-run invalidation that forces the full pass again.
+func TestStageProbeMatchesRunIntoOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.Random(5+rng.Intn(6), 30+rng.Intn(80), seed)
+		faults := Universe(c)
+		words := laneWidths[rng.Intn(len(laneWidths))]
+		probe, err := NewSimulatorWords(c, words)
+		if err != nil {
+			return false
+		}
+		oracle, err := NewSimulatorWords(c, words)
+		if err != nil {
+			return false
+		}
+		var db [1]int
+		var one [1]Fault
+		p := logic.NewPatternSet(len(c.PIs), 0)
+		bits := make([]bool, len(c.PIs))
+		cap := words * logic.WordBits
+		for p.N < cap {
+			grow := 1 + rng.Intn(17)
+			if p.N+grow > cap {
+				grow = cap - p.N
+			}
+			for g := 0; g < grow; g++ {
+				for i := range bits {
+					bits[i] = rng.Intn(2) == 1
+				}
+				p.Append(bits)
+			}
+			if rng.Intn(5) == 0 {
+				// Clobber the staged values so the next Stage cannot take
+				// the incremental path.
+				probe.RunInto(p, faults[:1], db[:], nil)
+			}
+			probe.Stage(p)
+			for _, fl := range faults {
+				one[0] = fl
+				want := oracle.RunInto(p, one[:], db[:], nil) > 0
+				if probe.Probe(fl) != want {
+					t.Errorf("seed %d: N=%d fault %+v: probe %v, oracle %v", seed, p.N, fl, !want, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

@@ -222,6 +222,29 @@ func (p *PatternSet) TailMask(w int) Word {
 	return (Word(1) << uint(p.N%WordBits)) - 1
 }
 
+// Reset empties the set in place, keeping the per-input word backing for
+// reuse: a hot loop that fills, consumes and refills a block avoids
+// re-allocating one slice per input per iteration. Appending after Reset
+// zeroes each reused word before setting bits, so stale contents never leak.
+func (p *PatternSet) Reset() {
+	p.N = 0
+	for i := range p.Bits {
+		p.Bits[i] = p.Bits[i][:0]
+	}
+}
+
+// PatternInto writes pattern n into out, which must have length Inputs, and
+// returns it — the allocation-free counterpart of Pattern for hot loops.
+func (p *PatternSet) PatternInto(n int, out []bool) []bool {
+	if len(out) != p.Inputs {
+		panic(fmt.Sprintf("logic: pattern buffer %d != inputs %d", len(out), p.Inputs))
+	}
+	for i := range out {
+		out[i] = p.Get(n, i)
+	}
+	return out
+}
+
 // Clone returns a deep copy of the pattern set.
 func (p *PatternSet) Clone() *PatternSet {
 	q := NewPatternSet(p.Inputs, p.N)

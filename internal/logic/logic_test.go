@@ -320,6 +320,46 @@ func TestPatternSetProperty(t *testing.T) {
 	}
 }
 
+// Property: a pattern set refilled after Reset is indistinguishable from a
+// freshly allocated one — no stale bits survive the word reuse, the tail
+// mask tracks the new length, and PatternInto matches Pattern.
+func TestPatternSetResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPatternSet(9, 0)
+	buf := make([]bool, 9)
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(150)
+		fresh := NewPatternSet(9, 0)
+		p.Reset()
+		if p.N != 0 {
+			t.Fatalf("round %d: N = %d after Reset", round, p.N)
+		}
+		for k := 0; k < n; k++ {
+			bits := make([]bool, 9)
+			for i := range bits {
+				bits[i] = rng.Intn(2) == 1
+			}
+			p.Append(bits)
+			fresh.Append(bits)
+		}
+		if p.N != fresh.N || p.Words() != fresh.Words() {
+			t.Fatalf("round %d: dims (%d,%d) != fresh (%d,%d)", round, p.N, p.Words(), fresh.N, fresh.Words())
+		}
+		for i := range p.Bits {
+			for w := range p.Bits[i] {
+				if p.Bits[i][w]&p.TailMask(w) != fresh.Bits[i][w] {
+					t.Fatalf("round %d: input %d word %d: reused %x != fresh %x",
+						round, i, w, p.Bits[i][w]&p.TailMask(w), fresh.Bits[i][w])
+				}
+			}
+		}
+		k := rng.Intn(n)
+		if got, want := FormatBits(p.PatternInto(k, buf)), FormatBits(fresh.Pattern(k)); got != want {
+			t.Fatalf("round %d: PatternInto(%d) = %s, want %s", round, k, got, want)
+		}
+	}
+}
+
 func BenchmarkFiveValuedAnd(b *testing.B) {
 	var sink V
 	for i := 0; i < b.N; i++ {

@@ -154,6 +154,48 @@ func (s *Wide) Block(piWords []logic.Word, act int) []logic.Word {
 	return vals
 }
 
+// BlockRange simulates only lanes [lo, hi) of the pattern block, leaving
+// every other lane's stored values untouched. It exists for append-only
+// staging: when a caller has already simulated the first lo lanes and new
+// patterns only extended the block, re-simulating the tail lanes refreshes
+// the buffer at a fraction of a full Block pass.
+func (s *Wide) BlockRange(piWords []logic.Word, lo, hi int) []logic.Word {
+	c := s.C
+	W := s.W
+	if len(piWords) != c.NumPIs()*W {
+		panic(fmt.Sprintf("sim: got %d PI lane words, want %d", len(piWords), c.NumPIs()*W))
+	}
+	if lo < 0 || lo >= hi || hi > W {
+		panic(fmt.Sprintf("sim: lane range [%d,%d) out of range [0,%d)", lo, hi, W))
+	}
+	n := hi - lo
+	var faninBuf [maxFanin * MaxLanes]logic.Word
+	vals := s.values
+	for _, id32 := range c.Order {
+		id := int(id32)
+		t := c.Types[id]
+		base := id*W + lo
+		if t == circuit.Input || t == circuit.DFF {
+			pb := int(c.PIPos[id])*W + lo
+			for l := 0; l < n; l++ {
+				vals[base+l] = piWords[pb+l]
+			}
+			continue
+		}
+		fanin := c.Fanin(id)
+		in := faninBuf[:len(fanin)*n]
+		for pin, f := range fanin {
+			fb := int(f)*W + lo
+			ib := pin * n
+			for l := 0; l < n; l++ {
+				in[ib+l] = vals[fb+l]
+			}
+		}
+		EvalLanes(t, in, len(fanin), n, vals[base:base+n])
+	}
+	return vals
+}
+
 // Values returns the strided lane buffer from the most recent Block call.
 // The slice aliases internal storage; callers must not mutate it, and lanes
 // beyond the last Block's active count are stale.
