@@ -15,12 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/atpg"
 	"repro/internal/bist"
 	"repro/internal/circuit"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/logic"
 )
 
@@ -44,6 +44,11 @@ func main() {
 		bistPats  = flag.Int("n", 512, "patterns for -bist")
 	)
 	flag.Parse()
+
+	if fault.NormalizeWords(*words) != *words {
+		fmt.Fprintf(os.Stderr, "itratpg: invalid -words %d: must be 1, 2, 4 or 8\n", *words)
+		os.Exit(2)
+	}
 
 	if *benchjson != "" {
 		ecfg := experiments.Default()
@@ -126,52 +131,10 @@ func loadCircuit(benchPath, gen string) (*circuit.Netlist, error) {
 		defer f.Close()
 		return circuit.ParseBench(f, benchPath)
 	case gen != "":
-		return generate(gen)
+		return circuit.FromSpec(gen)
 	default:
 		return nil, fmt.Errorf("need -bench <file> or -gen <name>")
 	}
-}
-
-func generate(name string) (*circuit.Netlist, error) {
-	var size int
-	switch {
-	case name == "c17":
-		return circuit.MustC17(), nil
-	case scan(name, "adder", &size):
-		return circuit.RippleAdder(size), nil
-	case scan(name, "mul", &size):
-		return circuit.ArrayMultiplier(size), nil
-	case scan(name, "alu", &size):
-		return circuit.ALUSlice(size), nil
-	case scan(name, "cmp", &size):
-		return circuit.Comparator(size), nil
-	case scan(name, "parity", &size):
-		return circuit.ParityTree(size), nil
-	case strings.HasPrefix(name, "gparity"):
-		var units, chain, enable int
-		if _, err := fmt.Sscanf(name, "gparity%d.%d.%d", &units, &chain, &enable); err != nil {
-			return nil, fmt.Errorf("gated parity spec %q, want gparityU.C.E", name)
-		}
-		return circuit.GatedParity(units, chain, enable), nil
-	case scan(name, "dec", &size):
-		return circuit.Decoder(size), nil
-	case strings.HasPrefix(name, "rand"):
-		var in, gates int
-		var seed int64
-		if _, err := fmt.Sscanf(name, "rand%d.%d.%d", &in, &gates, &seed); err != nil {
-			return nil, fmt.Errorf("random circuit spec %q, want randI.G.S", name)
-		}
-		return circuit.Random(in, gates, seed), nil
-	}
-	return nil, fmt.Errorf("unknown circuit %q", name)
-}
-
-func scan(name, prefix string, size *int) bool {
-	if !strings.HasPrefix(name, prefix) {
-		return false
-	}
-	_, err := fmt.Sscanf(name[len(prefix):], "%d", size)
-	return err == nil && *size > 0
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -28,8 +29,14 @@ func main() {
 		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers (results are identical for any count)")
 		words     = flag.Int("words", 1, "fault-simulation lane width: pattern words packed per cone walk, one of 1/2/4/8 (results are identical for any width)")
 		benchjson = flag.String("benchjson", "", "run the fault-simulation benchmark sweep and write machine-readable timings to this file (e.g. BENCH_faultsim.json)")
+		benchdir  = flag.String("benchdir", "testdata/bench", "directory of named .bench anchor netlists for -benchjson")
 	)
 	flag.Parse()
+
+	if fault.NormalizeWords(*words) != *words {
+		fmt.Fprintf(os.Stderr, "itrbench: invalid -words %d: must be 1, 2, 4 or 8\n", *words)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Default()
 	cfg.Quick = *quick
@@ -40,7 +47,7 @@ func main() {
 	start := time.Now()
 	switch {
 	case *benchjson != "":
-		doc, err := experiments.RunFaultSimBench(cfg)
+		doc, err := experiments.RunFaultSimBench(cfg, *benchdir)
 		if err != nil {
 			fatal(err)
 		}

@@ -29,6 +29,60 @@ func runTool(t *testing.T, args ...string) string {
 	return string(out)
 }
 
+// runToolErr runs a tool expecting a non-zero exit and returns its combined
+// output for message assertions.
+func runToolErr(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v: expected non-zero exit\n%s", args, out)
+	}
+	return string(out)
+}
+
+// TestWordsFlagValidation pins the -words contract at every CLI boundary:
+// a lane width outside {1,2,4,8} must be rejected up front with a usage
+// error, not silently normalized into a different benchmark configuration.
+func TestWordsFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"itrbench", []string{"./cmd/itrbench", "-words", "3", "-exp", "T2", "-quick"}},
+		{"itratpg", []string{"./cmd/itratpg", "-words", "0", "-gen", "c17"}},
+		{"itrcluster", []string{"./cmd/itrcluster", "coordinator", "-words", "16", "-workers", "1", "-gen", "c17"}},
+	} {
+		out := runToolErr(t, tc.args...)
+		if !strings.Contains(out, "must be 1, 2, 4 or 8") {
+			t.Errorf("%s: missing words usage error:\n%s", tc.name, out)
+		}
+	}
+}
+
+// TestItrclusterLoopbackVerify drives the full distributed flow from the CLI:
+// a coordinator with two in-process loopback workers shards each job kind,
+// merges, and -verify gates the exit status on bit-identity with the serial
+// engine.
+func TestItrclusterLoopbackVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, job := range []string{"detect", "dictionary"} {
+		out := runTool(t, "./cmd/itrcluster", "coordinator",
+			"-workers", "2", "-gen", "rand8.150.3", "-job", job,
+			"-patterns", "192", "-shard-faults", "16", "-verify", "-quiet")
+		for _, needle := range []string{job + ":", "result hash:", "verify: OK (bit-identical to serial)", "shards dispatched"} {
+			if !strings.Contains(out, needle) {
+				t.Errorf("itrcluster %s output missing %q:\n%s", job, needle, out)
+			}
+		}
+	}
+}
+
 func TestItrbenchQuickT2(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -202,8 +256,10 @@ func TestItrbenchGoldenT2(t *testing.T) {
 
 // TestItrbenchBenchJSONGolden pins the machine-readable benchmark document:
 // itrbench -benchjson -quick -seed 1 -words 8 -workers 2 must emit valid
-// itr-faultsim-bench/v1 JSON whose deterministic fields (schema, sizes,
-// fault counts, lane width, coverage, bit-identity) match the golden file
+// itr-faultsim-bench/v1 JSON covering the named .bench anchors under
+// testdata/bench/ plus the generated tier, with deterministic fields
+// (schema, sizes, fault counts, lane width, coverage, bit-identity, source)
+// matching the golden file
 // byte for byte. Runtime-dependent fields (timings, throughput, generated
 // stamp, toolchain version) are sanity-checked, then normalized to stable
 // placeholders before comparison. Regenerate with -update.
@@ -230,8 +286,12 @@ func TestItrbenchBenchJSONGolden(t *testing.T) {
 	if doc.Generated == "" || doc.GoVersion == "" {
 		t.Fatalf("missing generated/go_version stamps: %+v", doc)
 	}
+	anchors := 0
 	for i := range doc.Rows {
 		r := &doc.Rows[i]
+		if r.Source == "bench" {
+			anchors++
+		}
 		// Every row must carry real measurements and the bit-identity
 		// verdict before the values are normalized away.
 		if r.CompileNs <= 0 || r.PPSFPMs <= 0 || r.ConcurrentMs <= 0 ||
@@ -246,6 +306,9 @@ func TestItrbenchBenchJSONGolden(t *testing.T) {
 		}
 		r.CompileNs, r.PPSFPMs, r.ConcurrentMs, r.DictMs = 0, 0, 0, 0
 		r.SerialMs, r.Speedup, r.MPatFaultsPS = 0, 0, 0
+	}
+	if anchors < 3 {
+		t.Errorf("only %d named .bench anchor rows, want the 3 under testdata/bench/", anchors)
 	}
 	doc.Generated, doc.GoVersion = "<generated>", "<go_version>"
 	norm, err := json.MarshalIndent(&doc, "", "  ")

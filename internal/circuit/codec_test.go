@@ -1,0 +1,178 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// codecNetlists builds a spread of netlists covering the structural corners
+// the codec must preserve: plain combinational circuits, scan DFFs with
+// interleaved PI/DFF creation order, and generator output at several sizes.
+func codecNetlists(t *testing.T) []*Netlist {
+	t.Helper()
+	scan := New("scanmix")
+	scan.MustAddGate("a", Input)
+	scan.MustAddGate("q0", DFF)
+	scan.MustAddGate("b", Input)
+	scan.MustAddGate("n1", Nand, "a", "q0")
+	scan.MustAddGate("n2", Xor, "n1", "b")
+	if err := scan.MarkOutput("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.ConnectScanD("q0", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	return []*Netlist{
+		MustC17(),
+		RippleAdder(8),
+		ArrayMultiplier(4),
+		Random(16, 200, 7),
+		GatedParity(4, 6, 4),
+		scan,
+	}
+}
+
+// sameStructure asserts exact structural identity — IDs, names, types, fanin
+// order, PI/PO order and scan edges — which is the codec's whole contract.
+func sameStructure(t *testing.T, want, got *Netlist) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("name %q != %q", got.Name, want.Name)
+	}
+	if len(got.Gates) != len(want.Gates) {
+		t.Fatalf("gate count %d != %d", len(got.Gates), len(want.Gates))
+	}
+	for i, wg := range want.Gates {
+		gg := got.Gates[i]
+		if gg.ID != wg.ID || gg.Name != wg.Name || gg.Type != wg.Type {
+			t.Fatalf("gate %d: got %+v want %+v", i, gg, wg)
+		}
+		if len(gg.Fanin) != len(wg.Fanin) {
+			t.Fatalf("gate %d: fanin count %d != %d", i, len(gg.Fanin), len(wg.Fanin))
+		}
+		for k := range wg.Fanin {
+			if gg.Fanin[k] != wg.Fanin[k] {
+				t.Fatalf("gate %d: fanin[%d] %d != %d", i, k, gg.Fanin[k], wg.Fanin[k])
+			}
+		}
+	}
+	if len(got.PIs) != len(want.PIs) {
+		t.Fatalf("PI count %d != %d", len(got.PIs), len(want.PIs))
+	}
+	for i := range want.PIs {
+		if got.PIs[i] != want.PIs[i] {
+			t.Fatalf("PI[%d] %d != %d", i, got.PIs[i], want.PIs[i])
+		}
+	}
+	if len(got.POs) != len(want.POs) {
+		t.Fatalf("PO count %d != %d", len(got.POs), len(want.POs))
+	}
+	for i := range want.POs {
+		if got.POs[i] != want.POs[i] {
+			t.Fatalf("PO[%d] %d != %d", i, got.POs[i], want.POs[i])
+		}
+	}
+	if len(got.ScanD) != len(want.ScanD) {
+		t.Fatalf("scan count %d != %d", len(got.ScanD), len(want.ScanD))
+	}
+	for dff, src := range want.ScanD {
+		if got.ScanD[dff] != src {
+			t.Fatalf("ScanD[%d] %d != %d", dff, got.ScanD[dff], src)
+		}
+	}
+}
+
+func TestNetlistCodecRoundTrip(t *testing.T) {
+	for _, n := range codecNetlists(t) {
+		data, err := n.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", n.Name, err)
+		}
+		got, err := UnmarshalNetlist(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", n.Name, err)
+		}
+		sameStructure(t, n, got)
+		// Re-encoding the decoded netlist must reproduce the bytes — the
+		// fixed point that makes ContentHash a content identity.
+		again, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", n.Name, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("%s: re-encoded bytes differ", n.Name)
+		}
+		h1, err := n.ContentHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := got.ContentHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("%s: content hash changed across round trip", n.Name)
+		}
+	}
+}
+
+// TestNetlistCodecRejectsCorruption flips/truncates encoded bytes and
+// requires a decode error — never a panic, never a silently different
+// circuit that still hashes clean.
+func TestNetlistCodecRejectsCorruption(t *testing.T) {
+	n := Random(8, 60, 3)
+	data, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := n.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := UnmarshalNetlist(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), data...)
+		mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		got, err := UnmarshalNetlist(mut)
+		if err != nil {
+			continue // rejected: fine
+		}
+		h, err := got.ContentHash()
+		if err != nil {
+			continue
+		}
+		if h == want {
+			// Decoded to a circuit claiming the original's identity: the
+			// only legal way is if the flip didn't change the parse (it
+			// must — every byte is load-bearing except none are padding).
+			t.Fatalf("trial %d: corrupted encoding reproduced the original content hash", trial)
+		}
+	}
+}
+
+func TestNetlistCodecBadMagicAndVersion(t *testing.T) {
+	n := MustC17()
+	data, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := UnmarshalNetlist(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = 99
+	if _, err := UnmarshalNetlist(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := UnmarshalNetlist(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}

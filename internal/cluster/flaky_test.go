@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+)
+
+// ---------------------------------------------------------------------------
+// flakyConn: a net.Conn wrapper that sabotages writes on a per-connection
+// schedule — drop (swallow silently), corrupt (flip a payload bit), or
+// truncate (half the frame, then kill the connection). Because our frames
+// are written with a single Write call, write index == frame index, which
+// makes the schedules deterministic.
+
+type writeOp int
+
+const (
+	opPass writeOp = iota
+	opDrop
+	opCorrupt
+	opTruncate
+)
+
+type flakyConn struct {
+	net.Conn
+	mu   sync.Mutex
+	plan []writeOp
+	idx  int
+}
+
+func (f *flakyConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	op := opPass
+	if f.idx < len(f.plan) {
+		op = f.plan[f.idx]
+	}
+	f.idx++
+	f.mu.Unlock()
+	switch op {
+	case opDrop:
+		return len(b), nil // pretend success; the peer waits on nothing
+	case opCorrupt:
+		c := append([]byte(nil), b...)
+		c[len(c)-1] ^= 0x40 // last byte sits in the payload for every frame
+		return f.Conn.Write(c)
+	case opTruncate:
+		f.Conn.Write(b[:len(b)/2])
+		f.Conn.Close()
+		return len(b) / 2, errors.New("flaky: truncated write")
+	}
+	return f.Conn.Write(b)
+}
+
+// flakyDialer applies plans[i] to the i-th dialed connection; connections
+// past the schedule are clean, so every test converges.
+type flakyDialer struct {
+	lb    *Loopback
+	mu    sync.Mutex
+	n     int
+	plans [][]writeOp
+}
+
+func (d *flakyDialer) Dial() (net.Conn, error) {
+	c, err := d.lb.Dial()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	i := d.n
+	d.n++
+	d.mu.Unlock()
+	if i < len(d.plans) {
+		return &flakyConn{Conn: c, plan: d.plans[i]}, nil
+	}
+	return c, nil
+}
+
+// flakyListener is the server-side twin: it sabotages the coordinator's
+// writes on the i-th accepted connection.
+type flakyListener struct {
+	net.Listener
+	mu    sync.Mutex
+	n     int
+	plans [][]writeOp
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	if i < len(l.plans) {
+		return &flakyConn{Conn: c, plan: l.plans[i]}, nil
+	}
+	return c, nil
+}
+
+// logRecorder captures coordinator log lines so tests can pin the typed
+// error classification that reached the failure handler.
+type logRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (r *logRecorder) logf(format string, args ...any) {
+	r.mu.Lock()
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+func (r *logRecorder) contains(sub string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// flakyJob is the shared fixture: a small single-shard detect job plus its
+// serial oracle.
+func flakyJob(t *testing.T) (*circuit.Netlist, []fault.Fault, *fault.Result, func(*Coordinator) *fault.Result) {
+	t.Helper()
+	n := circuit.Random(6, 60, 7)
+	faults := fault.Universe(n)
+	p := testPatterns(n, 130, 71)
+	want := serialDetect(t, n, p, faults)
+	run := func(c *Coordinator) *fault.Result {
+		got, err := c.Detect(testCtx(t), n, p, faults, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	return n, faults, want, run
+}
+
+// Every flaky test pins the same contract: the failure ends in re-dispatch
+// (WorkersLost counts the dropped session) or a typed error in the log —
+// never a hang (testCtx bounds the run) and never a corrupt merge
+// (compareDetect against the serial oracle).
+
+// TestFlakyDroppedResultRecovers: the worker's first result frame vanishes
+// silently. The coordinator's session timeout reclaims the shard, the
+// worker reconnects clean, and the job still matches the oracle.
+func TestFlakyDroppedResultRecovers(t *testing.T) {
+	_, faults, want, run := flakyJob(t)
+	rec := &logRecorder{}
+	c, lb := startCoordinator(t, Config{
+		ShardFaults:    len(faults),
+		Deadline:       100 * time.Millisecond,
+		SessionTimeout: 300 * time.Millisecond,
+		Logf:           rec.logf,
+	})
+	// Connection 1: hello passes, the result frame is swallowed.
+	d := &flakyDialer{lb: lb, plans: [][]writeOp{{opPass, opDrop}}}
+	startWorkerDial(t, d.Dial, "droppy")
+	compareDetect(t, run(c), want)
+	if st := c.Stats(); st.WorkersLost < 1 {
+		t.Errorf("WorkersLost = %d, want >= 1 (timed-out session)", st.WorkersLost)
+	}
+}
+
+// TestFlakyCorruptedResultRecovers: a flipped payload bit must surface as
+// ErrPayloadHash at the coordinator (never a garbage merge), drop the
+// session, and re-dispatch.
+func TestFlakyCorruptedResultRecovers(t *testing.T) {
+	_, faults, want, run := flakyJob(t)
+	rec := &logRecorder{}
+	c, lb := startCoordinator(t, Config{
+		ShardFaults: len(faults),
+		Deadline:    200 * time.Millisecond,
+		Logf:        rec.logf,
+	})
+	d := &flakyDialer{lb: lb, plans: [][]writeOp{{opPass, opCorrupt}}}
+	startWorkerDial(t, d.Dial, "bitrot")
+	compareDetect(t, run(c), want)
+	if !rec.contains("payload hash") {
+		t.Errorf("log does not pin ErrPayloadHash; lines: %v", rec.lines)
+	}
+	if st := c.Stats(); st.WorkersLost < 1 {
+		t.Errorf("WorkersLost = %d, want >= 1", st.WorkersLost)
+	}
+}
+
+// TestFlakyTruncatedResultRecovers: a mid-frame connection loss must
+// surface as ErrTruncated and re-dispatch.
+func TestFlakyTruncatedResultRecovers(t *testing.T) {
+	_, faults, want, run := flakyJob(t)
+	rec := &logRecorder{}
+	c, lb := startCoordinator(t, Config{
+		ShardFaults: len(faults),
+		Deadline:    200 * time.Millisecond,
+		Logf:        rec.logf,
+	})
+	d := &flakyDialer{lb: lb, plans: [][]writeOp{{opPass, opTruncate}}}
+	startWorkerDial(t, d.Dial, "chopper")
+	compareDetect(t, run(c), want)
+	if !rec.contains("truncated") {
+		t.Errorf("log does not pin ErrTruncated; lines: %v", rec.lines)
+	}
+	if st := c.Stats(); st.WorkersLost < 1 {
+		t.Errorf("WorkersLost = %d, want >= 1", st.WorkersLost)
+	}
+}
+
+// TestFlakyCoordinatorWritesRecover: sabotage in the other direction — the
+// coordinator's shard frame is corrupted in flight. The worker rejects it
+// at the frame layer, the session drops, and reconnect + re-dispatch still
+// converge on the oracle.
+func TestFlakyCoordinatorWritesRecover(t *testing.T) {
+	_, faults, want, run := flakyJob(t)
+	lb := NewLoopback()
+	// Accepted connection 1: setup passes, the first shard frame is
+	// corrupted. Later connections are clean.
+	fl := &flakyListener{Listener: lb, plans: [][]writeOp{{opPass, opCorrupt}}}
+	c := startCoordinatorOn(t, Config{
+		ShardFaults: len(faults),
+		Deadline:    200 * time.Millisecond,
+	}, fl)
+	startWorker(t, lb, "w")
+	compareDetect(t, run(c), want)
+	if st := c.Stats(); st.WorkersLost < 1 {
+		t.Errorf("WorkersLost = %d, want >= 1", st.WorkersLost)
+	}
+}
+
+// TestFlakyRandomScheduleConverges hammers a multi-shard job through two
+// workers whose first connections fail randomly (seeded) in both
+// directions, then come back clean. Whatever the schedule breaks, the
+// result must still be bit-identical — the global contract that every
+// failure path ends in re-dispatch, not corruption.
+func TestFlakyRandomScheduleConverges(t *testing.T) {
+	n := circuit.Random(8, 120, 23)
+	faults := fault.Universe(n)
+	p := testPatterns(n, 260, 81)
+	want := serialDetect(t, n, p, faults)
+
+	rng := rand.New(rand.NewSource(99))
+	randPlan := func(k int) []writeOp {
+		plan := make([]writeOp, k)
+		for i := range plan {
+			plan[i] = []writeOp{opPass, opPass, opDrop, opCorrupt}[rng.Intn(4)]
+		}
+		return plan
+	}
+	lb := NewLoopback()
+	fl := &flakyListener{Listener: lb, plans: [][]writeOp{randPlan(4), randPlan(4)}}
+	c := startCoordinatorOn(t, Config{
+		ShardFaults:    16,
+		Deadline:       100 * time.Millisecond,
+		SessionTimeout: 300 * time.Millisecond,
+	}, fl)
+	for i := 0; i < 2; i++ {
+		d := &flakyDialer{lb: lb, plans: [][]writeOp{randPlan(5), randPlan(3)}}
+		startWorkerDial(t, d.Dial, fmt.Sprintf("flaky-%d", i))
+	}
+	got, err := c.Detect(testCtx(t), n, p, faults, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDetect(t, got, want)
+	t.Logf("converged with stats %+v", c.Stats())
+}

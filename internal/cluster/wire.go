@@ -1,0 +1,155 @@
+// Package cluster distributes PPSFP fault simulation and fault-dictionary
+// construction across worker nodes. A coordinator compiles the circuit
+// once, partitions the job into shards — contiguous fault ranges for
+// detection runs, disjoint pattern-word column ranges for dictionary
+// builds — and dispatches them to workers over a length-prefixed binary
+// wire protocol with a content hash per frame. Workers run the existing
+// single-process engines (fault.Simulator) on their shard and stream
+// partial results back; the coordinator merge writes disjoint output
+// regions, so the assembled result is bit-identical to the serial engine
+// for any worker count, shard size, dispatch order or failure schedule.
+//
+// Robustness is part of the protocol: per-shard deadlines re-dispatch
+// stragglers (the first result wins and duplicates are discarded
+// idempotently), workers join and leave freely with reconnect backoff, and
+// every wire-level failure surfaces as a typed error followed by
+// re-dispatch — never a hang and never a corrupt merge. The Loopback
+// transport runs the full protocol over in-process pipes, so everything is
+// unit-testable without sockets.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame format, transhift-style explicit framing with easyfl-style content
+// hashing: a fixed header carries a magic, the protocol version, the frame
+// type, the big-endian payload length and the sha256 of the payload. The
+// hash makes payload corruption (truncation, bit rot, desynced streams)
+// a typed error at the frame boundary instead of a garbage decode
+// downstream.
+//
+//	offset  size  field
+//	0       4     magic "ITRC"
+//	4       1     protocol version
+//	5       1     frame type
+//	6       4     payload length (big-endian)
+//	10      32    sha256(payload)
+//	42      n     payload
+const (
+	wireMagic   = "ITRC"
+	WireVersion = 1
+	headerSize  = 4 + 1 + 1 + 4 + sha256.Size
+
+	// DefaultMaxFrame bounds a single frame's payload: large enough for a
+	// million-gate setup frame or a dense dictionary shard, small enough
+	// that a corrupt length field cannot trigger a runaway allocation.
+	DefaultMaxFrame = 1 << 28
+)
+
+// FrameType discriminates the protocol's message kinds.
+type FrameType uint8
+
+// Protocol frame types. The coordinator sends Setup, Shard and Done; the
+// worker sends Hello, Result and Error.
+const (
+	FrameHello  FrameType = 1 // worker → coordinator: join handshake
+	FrameSetup  FrameType = 2 // coordinator → worker: job definition (circuit, patterns, faults)
+	FrameShard  FrameType = 3 // coordinator → worker: one work unit
+	FrameResult FrameType = 4 // worker → coordinator: one shard's partial result
+	FrameDone   FrameType = 5 // coordinator → worker: job complete, await next Setup
+	FrameError  FrameType = 6 // worker → coordinator: typed shard/setup failure
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameSetup:
+		return "setup"
+	case FrameShard:
+		return "shard"
+	case FrameResult:
+		return "result"
+	case FrameDone:
+		return "done"
+	case FrameError:
+		return "error"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Typed wire errors. Everything a peer can get wrong on the wire maps to
+// exactly one of these (possibly wrapped with context), so failure-path
+// tests can pin the classification with errors.Is.
+var (
+	ErrBadMagic     = errors.New("cluster: bad frame magic")
+	ErrVersion      = errors.New("cluster: wire protocol version mismatch")
+	ErrFrameTooBig  = errors.New("cluster: frame exceeds size limit")
+	ErrPayloadHash  = errors.New("cluster: frame payload hash mismatch")
+	ErrTruncated    = errors.New("cluster: truncated frame")
+	ErrMalformed    = errors.New("cluster: malformed message payload")
+	ErrJobMismatch  = errors.New("cluster: message for a different job")
+	ErrProtocol     = errors.New("cluster: unexpected frame type")
+	ErrClosed       = errors.New("cluster: coordinator closed")
+	ErrWorkerFailed = errors.New("cluster: worker reported shard failure")
+)
+
+// WriteFrame writes one framed message: header (magic, version, type,
+// length, payload hash) followed by the payload.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	hdr := make([]byte, headerSize, headerSize+len(payload))
+	copy(hdr, wireMagic)
+	hdr[4] = WireVersion
+	hdr[5] = byte(t)
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[10:], sum[:])
+	// One Write call for header+payload: a frame is either fully queued to
+	// the transport or fails as a unit, which keeps the failure model
+	// simple (a short write is a broken connection, not a desynced stream).
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads and verifies one framed message. maxFrame bounds the
+// payload length accepted (0 selects DefaultMaxFrame). Errors are typed:
+// ErrBadMagic, ErrVersion, ErrFrameTooBig, ErrPayloadHash, or ErrTruncated
+// for short reads; io.EOF is returned untouched only for a clean EOF at a
+// frame boundary, so callers can distinguish orderly close from mid-frame
+// loss.
+func ReadFrame(r io.Reader, maxFrame uint32) (FrameType, []byte, error) {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if string(hdr[:4]) != wireMagic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[4] != WireVersion {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, hdr[4], WireVersion)
+	}
+	t := FrameType(hdr[5])
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes > limit %d", ErrFrameTooBig, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if sum := sha256.Sum256(payload); sum != [sha256.Size]byte(hdr[10:42]) {
+		return 0, nil, ErrPayloadHash
+	}
+	return t, payload, nil
+}

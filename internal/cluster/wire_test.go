@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// TestFrameRoundTrip pins the framing: every frame type and a spread of
+// payload sizes survive a write/read cycle, consecutive frames stay
+// delimited, and a clean close at a frame boundary reads as bare io.EOF.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	types := []FrameType{FrameHello, FrameSetup, FrameShard, FrameResult, FrameDone, FrameError}
+	sizes := []int{0, 1, 41, 42, 4096}
+	var buf bytes.Buffer
+	var want [][]byte
+	for i, sz := range sizes {
+		p := make([]byte, sz)
+		rng.Read(p)
+		want = append(want, p)
+		if err := WriteFrame(&buf, types[i%len(types)], p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i := range sizes {
+		ft, p, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != types[i%len(types)] {
+			t.Errorf("frame %d: type %v, want %v", i, ft, types[i%len(types)])
+		}
+		if !bytes.Equal(p, want[i]) {
+			t.Errorf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Errorf("at boundary: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameCorruptionTyped pins the typed-error classification of every way
+// a frame can arrive damaged: bad magic, wrong version, oversize length,
+// flipped payload or hash bits, and truncation at any byte offset.
+func TestFrameCorruptionTyped(t *testing.T) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResult, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), frame...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		max  uint32
+		want error
+	}{
+		{"bad magic", mutate(func(b []byte) { b[0] ^= 0xff }), 0, ErrBadMagic},
+		{"bad version", mutate(func(b []byte) { b[4] ^= 0x01 }), 0, ErrVersion},
+		{"oversize length", mutate(func(b []byte) { binary.BigEndian.PutUint32(b[6:10], 4096) }), 1024, ErrFrameTooBig},
+		{"payload bit flip", mutate(func(b []byte) { b[headerSize] ^= 0x01 }), 0, ErrPayloadHash},
+		{"hash bit flip", mutate(func(b []byte) { b[10] ^= 0x01 }), 0, ErrPayloadHash},
+		{"length shrunk", mutate(func(b []byte) { binary.BigEndian.PutUint32(b[6:10], 8) }), 0, ErrPayloadHash},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadFrame(bytes.NewReader(tc.data), tc.max); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	for cut := 0; cut < len(frame); cut += 7 {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Errorf("cut at 0: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestMessageRoundTrips pins every message codec, including the setup frame
+// built from a real netlist/pattern/fault triple.
+func TestMessageRoundTrips(t *testing.T) {
+	h := &helloMsg{Proto: WireVersion, ID: "worker-7"}
+	if got, err := decodeHello(h.encode()); err != nil || *got != *h {
+		t.Errorf("hello: got %+v err %v", got, err)
+	}
+	s := &shardMsg{JobID: 9, Shard: 3, Lo: 64, Hi: 128}
+	if got, err := decodeShard(s.encode()); err != nil || *got != *s {
+		t.Errorf("shard: got %+v err %v", got, err)
+	}
+	e := &errorMsg{JobID: 9, Shard: errorShardSetup, Msg: "refused"}
+	if got, err := decodeError(e.encode()); err != nil || *got != *e {
+		t.Errorf("error: got %+v err %v", got, err)
+	}
+	dn := &doneMsg{JobID: 5}
+	if got, err := decodeDone(dn.encode()); err != nil || *got != *dn {
+		t.Errorf("done: got %+v err %v", got, err)
+	}
+
+	det := &resultMsg{JobID: 1, Shard: 0, Kind: KindDetect, Lo: 10, Hi: 13, DetBy: []int32{-1, 7, 0}}
+	got, err := decodeResult(det.encode())
+	if err != nil {
+		t.Fatalf("detect result: %v", err)
+	}
+	if got.JobID != det.JobID || got.Kind != det.Kind || len(got.DetBy) != 3 || got.DetBy[0] != -1 || got.DetBy[1] != 7 {
+		t.Errorf("detect result: got %+v", got)
+	}
+
+	dict := &resultMsg{JobID: 2, Shard: 1, Kind: KindDictionary, Lo: 8, Hi: 10, Rows: []sigEntry{
+		{Fi: 4, Po: 0, Words: []logic.Word{0xdead, 0xbeef}},
+		{Fi: 9, Po: 2, Words: []logic.Word{1, 0}},
+	}}
+	got, err = decodeResult(dict.encode())
+	if err != nil {
+		t.Fatalf("dictionary result: %v", err)
+	}
+	if len(got.Rows) != 2 || got.Rows[0].Fi != 4 || got.Rows[0].Words[1] != 0xbeef || got.Rows[1].Po != 2 {
+		t.Errorf("dictionary result: got %+v", got)
+	}
+
+	n := circuit.RippleAdder(2)
+	p := logic.NewPatternSet(len(n.PIs), 70)
+	rng := rand.New(rand.NewSource(2))
+	p.RandFill(rng.Uint64)
+	faults := fault.Universe(n)
+	payload, err := encodeSetup(11, KindDictionary, 4, n, p, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeSetup(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobID != 11 || m.Kind != KindDictionary || m.Words != 4 || m.Inputs != p.Inputs || m.NPat != p.N {
+		t.Errorf("setup header: %+v", m)
+	}
+	nb, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.NetBytes, nb) {
+		t.Error("setup: netlist bytes mismatch")
+	}
+	if len(m.Faults) != len(faults) || m.Faults[3] != faults[3] {
+		t.Error("setup: fault list mismatch")
+	}
+	for i := range p.Bits {
+		for w := range p.Bits[i] {
+			if m.PatBits[i][w] != p.Bits[i][w] {
+				t.Fatalf("setup: pattern bits differ at input %d word %d", i, w)
+			}
+		}
+	}
+}
+
+// TestMessageTrailingBytes pins exact-consumption decoding: any trailing
+// garbage after a well-formed message is ErrMalformed, not silently ignored.
+func TestMessageTrailingBytes(t *testing.T) {
+	s := &shardMsg{JobID: 1, Shard: 2, Lo: 0, Hi: 8}
+	if _, err := decodeShard(append(s.encode(), 0x00)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("shard trailing byte: err = %v, want ErrMalformed", err)
+	}
+	if _, err := decodeHello(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty hello: err = %v, want ErrMalformed", err)
+	}
+	det := &resultMsg{JobID: 1, Kind: KindDetect, Lo: 0, Hi: 2, DetBy: []int32{1, 2}}
+	if _, err := decodeResult(det.encode()[:10]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated result: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestLoopbackTransport pins the in-process listener: dialed pairs carry
+// frames both ways, and Close turns both Accept and Dial into typed errors.
+func TestLoopbackTransport(t *testing.T) {
+	lb := NewLoopback()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lb.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		ft, p, err := ReadFrame(conn, 0)
+		if err != nil || ft != FrameHello {
+			done <- err
+			return
+		}
+		done <- WriteFrame(conn, FrameDone, p)
+	}()
+	conn, err := lb.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, FrameHello, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	ft, p, err := ReadFrame(conn, 0)
+	if err != nil || ft != FrameDone || string(p) != "ping" {
+		t.Fatalf("echo: ft=%v p=%q err=%v", ft, p, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	lb.Close()
+	lb.Close() // idempotent
+	if _, err := lb.Accept(); !errors.Is(err, ErrLoopbackClosed) {
+		t.Errorf("Accept after close: %v", err)
+	}
+	if _, err := lb.Dial(); !errors.Is(err, ErrLoopbackClosed) {
+		t.Errorf("Dial after close: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 // engine is tracked across PRs in machine-readable form.
 type FaultSimBenchRow struct {
 	Circuit      string  `json:"circuit"`
+	Source       string  `json:"source"`                  // "bench" (named netlist file) or "generated"
 	Gates        int     `json:"gates"`                   // logic gates (excluding PIs)
 	Faults       int     `json:"faults"`                  // collapsed fault universe
 	Patterns     int     `json:"patterns"`                // random patterns simulated
@@ -73,12 +74,13 @@ func minDuration(reps int, fn func()) time.Duration {
 	return best
 }
 
-// RunFaultSimBench measures the fault-simulation engine on generated
-// circuits of increasing size and returns the machine-readable benchmark
-// document. Every row carries the one-pattern serial baseline, which
-// doubles as the correctness oracle: the PPSFP and concurrent DetectedBy
-// must match it bit for bit or the sweep aborts.
-func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
+// RunFaultSimBench measures the fault-simulation engine on the named .bench
+// anchor netlists under benchDir (sorted by name, mirroring BENCH_atpg.json)
+// followed by generated circuits of increasing size, and returns the
+// machine-readable benchmark document. Every row carries the one-pattern
+// serial baseline, which doubles as the correctness oracle: the PPSFP and
+// concurrent DetectedBy must match it bit for bit or the sweep aborts.
+func RunFaultSimBench(cfg Config, benchDir string) (*FaultSimBench, error) {
 	sizes, patterns := faultSimBenchSizes(cfg.Quick)
 	words := fault.NormalizeWords(cfg.Words)
 	doc := &FaultSimBench{
@@ -88,10 +90,17 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 		Workers:   parallel.Workers(cfg.Workers),
 		Quick:     cfg.Quick,
 	}
+	cases, err := loadBenchAnchors(benchDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, gates := range sizes {
+		cases = append(cases, atpgBenchCase{net: circuit.Random(64, gates, 3), source: "generated"})
+	}
 	tw := cfg.table()
 	fmt.Fprintf(tw, "circuit\tgates\tfaults\tpatterns\twords\tppsfp\tconc(%d)\tdict\tserial\tspeedup\tMpat·faults/s\n", doc.Workers)
-	for _, gates := range sizes {
-		c := circuit.Random(64, gates, 3)
+	for _, bc := range cases {
+		c := bc.net
 		c.TopoOrder() // levelize once so compileDur isolates the CSR-IR build
 		compileDur := minDuration(5, func() {
 			if _, err := circuit.Compile(c); err != nil {
@@ -122,7 +131,7 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 			}
 		}
 		row := FaultSimBenchRow{
-			Circuit: c.Name, Gates: c.NumLogicGates(), Faults: len(faults),
+			Circuit: c.Name, Source: bc.source, Gates: c.NumLogicGates(), Faults: len(faults),
 			Patterns:     patterns,
 			Words:        fsim.Words(),
 			CompileNs:    float64(compileDur.Nanoseconds()),
@@ -131,7 +140,7 @@ func RunFaultSimBench(cfg Config) (*FaultSimBench, error) {
 			Coverage:     rp.Coverage,
 			MPatFaultsPS: float64(len(faults)) * float64(patterns) / ppsfp.Seconds() / 1e6,
 		}
-		if gates <= dictMaxGates {
+		if row.Gates <= dictMaxGates {
 			dict := minDuration(2, func() {
 				if _, err := fault.DictionaryConcurrentWords(c, p, faults, cfg.Workers, words); err != nil {
 					cerr = err

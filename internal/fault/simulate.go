@@ -644,6 +644,14 @@ func (sg *Signature) FailBits() int {
 	return c
 }
 
+// NewSignatures allocates the zeroed signature matrix for faults × POs ×
+// words in one backing slice — the merge target for dictionary builds that
+// fill disjoint column ranges (DictionaryConcurrentWords locally, the
+// cluster coordinator across nodes).
+func NewSignatures(nFaults, nPOs, words int) []*Signature {
+	return newSignatures(nFaults, nPOs, words)
+}
+
 // newSignatures allocates the signature matrix for faults × POs × words in
 // one backing slice.
 func newSignatures(nFaults, nPOs, words int) []*Signature {
@@ -708,13 +716,28 @@ func (s *Simulator) dictionaryBlock(p *logic.PatternSet, faults []Fault, base in
 // filled Words() columns per cone walk; the signatures are bit-identical
 // for every lane width.
 func (s *Simulator) Dictionary(p *logic.PatternSet, faults []Fault) []*Signature {
-	words := p.Words()
+	sigs := newSignatures(len(faults), len(s.Net.POs), p.Words())
+	s.DictionaryRange(p, faults, 0, p.Words(), sigs)
+	return sigs
+}
+
+// DictionaryRange fills the signature columns of the pattern-word range
+// [lo, hi) for every fault: the shard-sized unit of distributed dictionary
+// construction. sigs must have been allocated (zeroed) for the full word
+// range of p (NewSignatures); distinct word ranges write disjoint storage,
+// so range shards merge bit-identically in any order. lo must be a multiple
+// of Words(), and hi must either extend to p.Words() or keep the range a
+// whole number of W-blocks — otherwise a block walk would spill columns
+// into a neighboring shard, and the call panics instead.
+func (s *Simulator) DictionaryRange(p *logic.PatternSet, faults []Fault, lo, hi int, sigs []*Signature) {
 	W := s.w
-	sigs := newSignatures(len(faults), len(s.Net.POs), words)
+	words := p.Words()
+	if lo < 0 || hi < lo || hi > words || lo%W != 0 || (hi != words && (hi-lo)%W != 0) {
+		panic(fmt.Sprintf("fault: DictionaryRange [%d,%d) not W=%d block-aligned within %d words", lo, hi, W, words))
+	}
 	pi := make([]logic.Word, len(s.Net.PIs)*W)
 	perPO := make([]logic.Word, len(s.Net.POs)*W)
-	for base := 0; base < words; base += W {
+	for base := lo; base < hi; base += W {
 		s.dictionaryBlock(p, faults, base, sigs, pi, perPO)
 	}
-	return sigs
 }
