@@ -20,13 +20,18 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/circuit"
 	"repro/internal/cluster"
 	"repro/internal/fault"
@@ -74,6 +79,9 @@ func runCoordinator(args []string) {
 		timeout     = fs.Duration("timeout", 0, "overall job timeout (0: none)")
 		verify      = fs.Bool("verify", false, "rerun the job on the local serial engine and require bit-identity")
 		quiet       = fs.Bool("quiet", false, "suppress progress logging")
+		journalPath = fs.String("journal", "", "write-ahead journal file: checkpoint every verified shard so the job can resume after a coordinator crash")
+		resume      = fs.Bool("resume", false, "resume from -journal instead of starting fresh (the journal must match the job exactly)")
+		chaosKill   = fs.String("chaos-kill", "", fmt.Sprintf("deterministic chaos: exit(3) at the Nth hit of a named crash point, \"point:N\" (points: %s)", strings.Join(chaos.CrashPoints, ", ")))
 	)
 	fs.Parse(args)
 	if fault.NormalizeWords(*words) != *words {
@@ -100,12 +108,25 @@ func runCoordinator(args []string) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	coord := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		ShardFaults: *shardFaults,
 		ShardWords:  *shardWords,
 		Deadline:    *deadline,
 		Logf:        logf,
-	})
+	}
+	if *chaosKill != "" {
+		cfg.CrashHook = chaosKillHook(*chaosKill)
+	}
+	opt, cleanup, err := openJournal(*journalPath, *resume)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+	if opt.Resume != nil {
+		fmt.Printf("journal: resuming %d/%d shards (torn tail: %v)\n",
+			opt.Resume.Shards(), opt.Resume.Header.NShards, opt.Resume.Torn)
+	}
+	coord := cluster.New(cfg)
 	defer coord.Close()
 
 	lb := cluster.NewLoopback()
@@ -133,7 +154,7 @@ func runCoordinator(args []string) {
 	start := time.Now()
 	switch *job {
 	case "detect":
-		res, err := coord.Detect(ctx, n, p, faults, *words)
+		res, err := coord.DetectOpt(ctx, n, p, faults, *words, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -156,7 +177,7 @@ func runCoordinator(args []string) {
 			fmt.Println("verify: OK (bit-identical to serial)")
 		}
 	case "dictionary":
-		sigs, err := coord.Dictionary(ctx, n, p, faults, *words)
+		sigs, err := coord.DictionaryOpt(ctx, n, p, faults, *words, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -226,6 +247,79 @@ func runWorker(args []string) {
 	if err := w.Run(context.Background()); err != nil {
 		fatal(err)
 	}
+}
+
+// chaosKillHook parses "point:N" (N defaults to 1) and returns a crash hook
+// that exits the process with status 3 at the Nth hit of the named point —
+// a real crash, so any journal bytes not yet fsynced are genuinely lost.
+func chaosKillHook(spec string) func(string) bool {
+	point, after := spec, 1
+	if i := strings.LastIndex(spec, ":"); i >= 0 {
+		n, err := strconv.Atoi(spec[i+1:])
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("invalid -chaos-kill %q: count must be a positive integer", spec))
+		}
+		point, after = spec[:i], n
+	}
+	if !chaos.ValidCrashPoint(point) {
+		fatal(fmt.Errorf("invalid -chaos-kill point %q: one of %s", point, strings.Join(chaos.CrashPoints, ", ")))
+	}
+	plan := &chaos.CrashPlan{Point: point, After: after}
+	return func(p string) bool {
+		if plan.Hook()(p) {
+			fmt.Fprintf(os.Stderr, "itrcluster: chaos: crashing at %s (hit %d)\n", point, after)
+			os.Exit(3)
+		}
+		return false
+	}
+}
+
+// openJournal opens or resumes the write-ahead journal. A fresh run truncates
+// the file; -resume replays it, discards any torn tail (truncating the file
+// back to the last intact record so appended records extend a clean prefix),
+// and positions the write cursor at the end of the valid prefix.
+func openJournal(path string, resume bool) (cluster.JobOptions, func(), error) {
+	var opt cluster.JobOptions
+	if path == "" {
+		if resume {
+			return opt, nil, fmt.Errorf("-resume requires -journal <path>")
+		}
+		return opt, func() {}, nil
+	}
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return opt, nil, err
+		}
+		opt.Journal = cluster.NewJournal(f)
+		return opt, func() { f.Close() }, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return opt, nil, err
+	}
+	rep, err := cluster.ReadJournal(f)
+	if err != nil {
+		f.Close()
+		if errors.Is(err, cluster.ErrJournalCorrupt) {
+			return opt, nil, fmt.Errorf("journal %s unusable: %w", path, err)
+		}
+		return opt, nil, err
+	}
+	if rep.Torn {
+		fmt.Fprintf(os.Stderr, "itrcluster: journal %s has a torn tail; discarding bytes past offset %d\n", path, rep.Valid)
+	}
+	if err := f.Truncate(rep.Valid); err != nil {
+		f.Close()
+		return opt, nil, err
+	}
+	if _, err := f.Seek(rep.Valid, io.SeekStart); err != nil {
+		f.Close()
+		return opt, nil, err
+	}
+	opt.Resume = rep
+	opt.Journal = cluster.NewJournal(f)
+	return opt, func() { f.Close() }, nil
 }
 
 func loadCircuit(benchPath, gen string) (*circuit.Netlist, error) {

@@ -79,11 +79,15 @@ func main() {
 		}
 	}
 	if *modelDir != "" {
-		n, err := reg.LoadDir(*modelDir)
+		sum, err := reg.LoadDir(*modelDir)
 		if err != nil {
 			fatal(logger, err)
 		}
-		logger.Info("loaded model artifacts", "dir", *modelDir, "count", n)
+		for _, s := range sum.Skipped {
+			logger.Warn("skipped model artifact", "dir", *modelDir, "reason", s)
+		}
+		logger.Info("loaded model artifacts", "dir", *modelDir,
+			"count", sum.Installed, "skipped", len(sum.Skipped))
 	}
 	for _, m := range reg.Models() {
 		logger.Info("model installed", "kind", m.Kind, "name", m.Name, "version", m.Version)
@@ -130,12 +134,16 @@ func main() {
 					logger.Warn("SIGHUP ignored: no -models directory to rescan")
 					continue
 				}
-				n, err := reg.LoadDir(*modelDir)
+				sum, err := reg.LoadDir(*modelDir)
 				if err != nil {
 					logger.Error("model reload failed", "err", err)
 					continue
 				}
-				logger.Info("models reloaded", "dir", *modelDir, "count", n)
+				for _, s := range sum.Skipped {
+					logger.Warn("skipped model artifact", "dir", *modelDir, "reason", s)
+				}
+				logger.Info("models reloaded", "dir", *modelDir,
+					"count", sum.Installed, "skipped", len(sum.Skipped))
 				continue
 			}
 			logger.Info("shutting down: draining in-flight requests", "signal", sig.String())

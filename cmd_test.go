@@ -83,6 +83,43 @@ func TestItrclusterLoopbackVerify(t *testing.T) {
 	}
 }
 
+// TestItrclusterJournalResume drives the crash/resume flow from the CLI: a
+// journaled run is chaos-killed mid-job (real process exit, status 3), then
+// a second invocation resumes from the journal and must still be
+// bit-identical to the serial engine.
+func TestItrclusterJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	journal := filepath.Join(t.TempDir(), "job.journal")
+	common := []string{"./cmd/itrcluster", "coordinator",
+		"-workers", "2", "-gen", "rand8.150.3", "-job", "detect",
+		"-patterns", "192", "-shard-faults", "16", "-journal", journal, "-quiet"}
+	out := runToolErr(t, append(common, "-chaos-kill", "after-result-before-journal-sync:3")...)
+	if !strings.Contains(out, "chaos: crashing at after-result-before-journal-sync") {
+		t.Fatalf("kill run did not hit the crash point:\n%s", out)
+	}
+	if fi, err := os.Stat(journal); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal after crash: %v (size %v)", err, fi)
+	}
+	out = runTool(t, append(common, "-resume", "-verify")...)
+	for _, needle := range []string{"journal: resuming", "verify: OK (bit-identical to serial)"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("resume output missing %q:\n%s", needle, out)
+		}
+	}
+
+	// A journal must never resume a different job: same file, different
+	// circuit is a typed refusal, not a wrong merge.
+	out = runToolErr(t, "./cmd/itrcluster", "coordinator",
+		"-workers", "1", "-gen", "rand8.150.4", "-job", "detect",
+		"-patterns", "192", "-shard-faults", "16",
+		"-journal", journal, "-resume", "-quiet")
+	if !strings.Contains(out, "journal does not match job") {
+		t.Errorf("mismatched resume not refused:\n%s", out)
+	}
+}
+
 func TestItrbenchQuickT2(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

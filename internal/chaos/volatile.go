@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrDeviceCrashed is returned by VolatileFile writes and syncs after
+// Crash, the way a dead machine answers nothing.
+var ErrDeviceCrashed = errors.New("chaos: device crashed")
+
+// VolatileFile models a file on a machine that can lose power: Write goes
+// to a volatile buffer, Sync commits the buffer to durable storage, and
+// Crash discards everything unsynced. It implements the SyncWriter
+// contract a write-ahead journal needs, so journal crash-safety can be
+// tested deterministically in-process — no real files, no real kills.
+type VolatileFile struct {
+	mu      sync.Mutex
+	durable []byte
+	pending []byte
+	crashed bool
+	syncs   int
+}
+
+// Write buffers p in volatile storage.
+func (f *VolatileFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrDeviceCrashed
+	}
+	f.pending = append(f.pending, p...)
+	return len(p), nil
+}
+
+// Sync commits everything buffered so far to durable storage.
+func (f *VolatileFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrDeviceCrashed
+	}
+	f.durable = append(f.durable, f.pending...)
+	f.pending = f.pending[:0]
+	f.syncs++
+	return nil
+}
+
+// Crash simulates power loss: unsynced bytes vanish, further writes fail,
+// and the durable bytes — exactly what a real disk would still hold — are
+// returned as a copy.
+func (f *VolatileFile) Crash() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	f.pending = nil
+	return append([]byte(nil), f.durable...)
+}
+
+// Reopen clears the crashed state so the same durable bytes can back the
+// resumed run (the "new process opens the journal in append mode" step).
+func (f *VolatileFile) Reopen() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.pending = f.pending[:0]
+}
+
+// Durable returns a copy of the committed bytes.
+func (f *VolatileFile) Durable() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.durable...)
+}
+
+// Truncate cuts durable storage to n bytes (simulating a torn tail for
+// replay tests). It is a no-op if n exceeds the durable length.
+func (f *VolatileFile) Truncate(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n >= 0 && n < len(f.durable) {
+		f.durable = f.durable[:n]
+	}
+}
+
+// Syncs reports how many Sync calls have committed.
+func (f *VolatileFile) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -37,6 +38,13 @@ type Config struct {
 	// turns a deterministically failing shard into a typed job error
 	// instead of an infinite re-dispatch loop. Default 3.
 	MaxShardFailures int
+	// CrashHook, when non-nil, is consulted at each named crash point of
+	// the checkpoint protocol (internal/chaos.CrashPoints). Returning true
+	// simulates the coordinator process dying right there: the journal
+	// freezes with exactly the bytes a dead process would leave and the
+	// active job fails with ErrCrashed. A CLI hook may os.Exit instead for
+	// a real process death. nil (production) never crashes.
+	CrashHook func(point string) bool
 	// Logf receives progress lines (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -101,11 +109,32 @@ type shardSpec struct {
 	lo, hi uint32
 }
 
+// JobOptions extends a job run with checkpoint/resume state.
+type JobOptions struct {
+	// Journal, when non-nil, receives the job header plus one synced
+	// record per verified shard result, making the job resumable after a
+	// coordinator crash. A journal I/O failure fails the job (a silently
+	// unprotected run would betray the crash-safety contract).
+	Journal *Journal
+	// Resume, when non-nil, is a prior run's replay (ReadJournal): its
+	// header must match this job exactly (ErrJournalMismatch otherwise),
+	// its shards pre-merge and only the remainder dispatches. Combined
+	// with Journal, new results append to the same journal.
+	Resume *Replay
+}
+
 type job struct {
 	id    uint64
 	kind  JobKind
 	words int
 	setup []byte // encoded setup payload, shared by every session
+
+	journal *Journal
+	netHash [32]byte // circuit content hash (== setup NetHash)
+	inHash  [32]byte // pattern + fault-list digest
+	inputs  int
+	npat    int
+	unit    int // shard size: faults (detect) or pattern words (dictionary)
 
 	specs    []shardSpec
 	pending  []int // shard indices awaiting (re-)dispatch
@@ -195,6 +224,11 @@ func (c *Coordinator) Stats() Stats {
 // first-detection index depends only on (circuit, patterns, fault) and
 // shard merges write disjoint DetectedBy ranges.
 func (c *Coordinator) Detect(ctx context.Context, n *circuit.Netlist, p *logic.PatternSet, faults []fault.Fault, words int) (*fault.Result, error) {
+	return c.DetectOpt(ctx, n, p, faults, words, JobOptions{})
+}
+
+// DetectOpt is Detect with checkpoint/resume options.
+func (c *Coordinator) DetectOpt(ctx context.Context, n *circuit.Netlist, p *logic.PatternSet, faults []fault.Fault, words int, opt JobOptions) (*fault.Result, error) {
 	if err := validateJob(n, p, faults); err != nil {
 		return nil, err
 	}
@@ -203,16 +237,16 @@ func (c *Coordinator) Detect(ctx context.Context, n *circuit.Netlist, p *logic.P
 	if err != nil {
 		return nil, err
 	}
-	shardFaults := c.cfg.ShardFaults
-	for lo := 0; lo < len(faults); lo += shardFaults {
-		hi := min(lo+shardFaults, len(faults))
+	j.unit = c.cfg.ShardFaults
+	for lo := 0; lo < len(faults); lo += j.unit {
+		hi := min(lo+j.unit, len(faults))
 		j.specs = append(j.specs, shardSpec{lo: uint32(lo), hi: uint32(hi)})
 	}
 	j.detBy = make([]int, len(faults))
 	for i := range j.detBy {
 		j.detBy[i] = -1
 	}
-	if err := c.run(ctx, j); err != nil {
+	if err := c.run(ctx, j, opt); err != nil {
 		return nil, err
 	}
 	res := &fault.Result{Total: len(faults), Detected: j.detected, DetectedBy: j.detBy}
@@ -230,6 +264,11 @@ func (c *Coordinator) Detect(ctx context.Context, n *circuit.Netlist, p *logic.P
 // bit-identical — so the merged dictionary equals Simulator.Dictionary
 // word for word regardless of worker count, shard size or dispatch order.
 func (c *Coordinator) Dictionary(ctx context.Context, n *circuit.Netlist, p *logic.PatternSet, faults []fault.Fault, words int) ([]*fault.Signature, error) {
+	return c.DictionaryOpt(ctx, n, p, faults, words, JobOptions{})
+}
+
+// DictionaryOpt is Dictionary with checkpoint/resume options.
+func (c *Coordinator) DictionaryOpt(ctx context.Context, n *circuit.Netlist, p *logic.PatternSet, faults []fault.Fault, words int, opt JobOptions) ([]*fault.Signature, error) {
 	if err := validateJob(n, p, faults); err != nil {
 		return nil, err
 	}
@@ -245,13 +284,14 @@ func (c *Coordinator) Dictionary(ctx context.Context, n *circuit.Netlist, p *log
 	if rem := unit % w; rem != 0 {
 		unit += w - rem // keep shards W-block aligned, hence column-disjoint
 	}
+	j.unit = unit
 	pwords := p.Words()
 	for lo := 0; lo < pwords; lo += unit {
 		hi := min(lo+unit, pwords)
 		j.specs = append(j.specs, shardSpec{lo: uint32(lo), hi: uint32(hi)})
 	}
 	j.sigs = fault.NewSignatures(len(faults), len(n.POs), pwords)
-	if err := c.run(ctx, j); err != nil {
+	if err := c.run(ctx, j, opt); err != nil {
 		return nil, err
 	}
 	return j.sigs, nil
@@ -277,7 +317,7 @@ func (c *Coordinator) newJob(kind JobKind, words int, n *circuit.Netlist, p *log
 	c.jobSeq++
 	id := c.jobSeq
 	c.mu.Unlock()
-	setup, err := encodeSetup(id, kind, words, n, p, faults)
+	setup, netHash, err := encodeSetup(id, kind, words, n, p, faults)
 	if err != nil {
 		return nil, err
 	}
@@ -286,6 +326,10 @@ func (c *Coordinator) newJob(kind JobKind, words int, n *circuit.Netlist, p *log
 		kind:     kind,
 		words:    words,
 		setup:    setup,
+		netHash:  netHash,
+		inHash:   hashJobInputs(p, faults),
+		inputs:   p.Inputs,
+		npat:     p.N,
 		inflight: make(map[int]time.Time),
 		finished: make(chan struct{}),
 		nFaults:  len(faults),
@@ -294,19 +338,87 @@ func (c *Coordinator) newJob(kind JobKind, words int, n *circuit.Netlist, p *log
 	}, nil
 }
 
+// header describes the job for the write-ahead journal.
+func (j *job) header() *JournalHeader {
+	return &JournalHeader{
+		Kind:        j.kind,
+		Words:       uint8(j.words),
+		NFaults:     uint32(j.nFaults),
+		NPOs:        uint32(j.nPOs),
+		Inputs:      uint32(j.inputs),
+		NPat:        uint32(j.npat),
+		ShardUnit:   uint32(j.unit),
+		NShards:     uint32(len(j.specs)),
+		CircuitHash: j.netHash,
+		InputsHash:  j.inHash,
+	}
+}
+
+// merge writes one validated shard result into the job's output region.
+// Regions of distinct shards are disjoint by construction. Live jobs
+// merge under c.mu; resume pre-merges before the job is installed, when
+// no session can see it.
+func (j *job) merge(idx int, res *resultMsg) {
+	spec := j.specs[idx]
+	switch j.kind {
+	case KindDetect:
+		for i, v := range res.DetBy {
+			j.detBy[int(spec.lo)+i] = int(v)
+			if v >= 0 {
+				j.detected++
+			}
+		}
+	case KindDictionary:
+		for _, row := range res.Rows {
+			copy(j.sigs[row.Fi].Bits[row.Po][spec.lo:spec.hi], row.Words)
+		}
+	}
+}
+
 // run installs the job, lets sessions drain it, and waits for completion,
-// cancellation or coordinator close.
-func (c *Coordinator) run(ctx context.Context, j *job) error {
+// cancellation or coordinator close. Resume state pre-merges journaled
+// shards before any session can see the job; a fresh journal gets the job
+// header before any shard dispatches.
+func (c *Coordinator) run(ctx context.Context, j *job, opt JobOptions) error {
 	c.jobMu.Lock()
 	defer c.jobMu.Unlock()
 
-	j.pending = make([]int, len(j.specs))
+	j.journal = opt.Journal
+	j.pending = make([]int, 0, len(j.specs))
 	j.queued = make([]bool, len(j.specs))
 	j.failures = make([]int, len(j.specs))
 	j.done = make([]bool, len(j.specs))
+
+	if opt.Resume != nil {
+		if err := opt.Resume.Header.matches(j.header()); err != nil {
+			return err
+		}
+		for _, res := range opt.Resume.results {
+			idx := int(res.Shard) // < NShards == len(j.specs), pinned by ReadJournal + matches
+			if j.done[idx] {
+				continue // duplicate record: identical bytes, first wins
+			}
+			// ReadJournal validated every record against the header
+			// geometry; re-check against the actual job anyway so a
+			// hand-built Replay cannot corrupt the merge.
+			if err := validateResult(j.kind, j.specs[idx], res, j.nFaults, j.nPOs); err != nil {
+				return fmt.Errorf("%w: shard %d record: %v", ErrJournalCorrupt, idx, err)
+			}
+			j.merge(idx, res)
+			j.done[idx] = true
+			j.nDone++
+		}
+		c.cfg.Logf("cluster: job %d (%s): resumed %d/%d shards from journal", j.id, j.kind, j.nDone, len(j.specs))
+	} else if j.journal != nil {
+		if err := j.journal.WriteHeader(j.header()); err != nil {
+			return fmt.Errorf("journal header: %w", err)
+		}
+	}
 	for i := range j.specs {
-		j.pending[i] = i
-		j.queued[i] = true
+		if !j.done[i] {
+			j.pending = append(j.pending, i)
+			j.queued[i] = true
+		}
 	}
 
 	c.mu.Lock()
@@ -314,9 +426,9 @@ func (c *Coordinator) run(ctx context.Context, j *job) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	if len(j.specs) == 0 {
+	if j.nDone == len(j.specs) {
 		c.mu.Unlock()
-		return nil // empty job: nothing to distribute
+		return nil // empty job, or the journal already held every shard
 	}
 	c.job = j
 	c.cond.Broadcast()
@@ -444,22 +556,16 @@ func (c *Coordinator) shardFailed(j *job, idx int, werr error) {
 	}
 }
 
-// deliver validates and merges one shard result. The first result for a
-// shard wins; later ones (stragglers that were re-dispatched) are counted
-// and discarded — re-execution is deterministic, so discarding loses
-// nothing. Returns an error only for results that prove the worker is
-// confused (range mismatch, out-of-bounds indices); the caller drops that
-// worker and the shard is re-dispatched.
-func (c *Coordinator) deliver(j *job, idx int, res *resultMsg) error {
-	spec := j.specs[idx]
-	if res.Kind != j.kind || res.Lo != spec.lo || res.Hi != spec.hi {
-		return fmt.Errorf("%w: result range [%d,%d) kind %v for shard %d [%d,%d) kind %v",
-			ErrMalformed, res.Lo, res.Hi, res.Kind, idx, spec.lo, spec.hi, j.kind)
+// validateResult checks one shard result against its spec: range and
+// kind must match, indices must be in bounds. Shared by the live deliver
+// path and journal replay, so a journaled record can never merge anything
+// a live result could not.
+func validateResult(kind JobKind, spec shardSpec, res *resultMsg, nFaults, nPOs int) error {
+	if res.Kind != kind || res.Lo != spec.lo || res.Hi != spec.hi {
+		return fmt.Errorf("%w: result range [%d,%d) kind %v, want [%d,%d) kind %v",
+			ErrMalformed, res.Lo, res.Hi, res.Kind, spec.lo, spec.hi, kind)
 	}
-	// Validate outside the lock; write inside it. Duplicate results carry
-	// identical bytes, but the done flag still gates the write so the merge
-	// region is written exactly once.
-	switch j.kind {
+	switch kind {
 	case KindDetect:
 		for _, v := range res.DetBy {
 			if v < -1 {
@@ -469,32 +575,87 @@ func (c *Coordinator) deliver(j *job, idx int, res *resultMsg) error {
 	case KindDictionary:
 		span := int(spec.hi - spec.lo)
 		for _, row := range res.Rows {
-			if int(row.Fi) >= j.nFaults || int(row.Po) >= j.nPOs || len(row.Words) != span {
+			if int(row.Fi) >= nFaults || int(row.Po) >= nPOs || len(row.Words) != span {
 				return fmt.Errorf("%w: signature row (fault %d, po %d, %d words)", ErrMalformed, row.Fi, row.Po, len(row.Words))
 			}
 		}
 	}
+	return nil
+}
+
+// hitCrash consults the chaos crash hook at a named crash point. A firing
+// hook means the coordinator "dies" here: the journal freezes exactly as
+// a killed process would leave it, and the job fails with ErrCrashed.
+// Ordering matters — the journal dies first, so nothing can append after
+// the moment of death.
+func (c *Coordinator) hitCrash(j *job, point string) bool {
+	if c.cfg.CrashHook == nil || !c.cfg.CrashHook(point) {
+		return false
+	}
+	if j.journal != nil {
+		j.journal.kill()
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.failJobLocked(j, ErrCrashed)
+	c.mu.Unlock()
+	c.cfg.Logf("cluster: chaos crash at %q", point)
+	return true
+}
+
+// deliver validates, journals and merges one shard result. The first
+// result for a shard wins; later ones (stragglers that were re-dispatched)
+// are counted and discarded — re-execution is deterministic, so discarding
+// loses nothing. Returns an error only for results that prove the worker
+// is confused (range mismatch, out-of-bounds indices); the caller drops
+// that worker and the shard is re-dispatched.
+//
+// The order is claim → journal append → sync → merge: the shard is
+// claimed under the lock (gating duplicates exactly once), the record
+// becomes durable outside the lock (fsync must not serialize sessions),
+// and only then does the region merge — so every merged shard is in the
+// journal, and a crash at any boundary between these steps loses nothing
+// a resume cannot recompute.
+func (c *Coordinator) deliver(j *job, idx int, res *resultMsg) error {
+	if err := validateResult(j.kind, j.specs[idx], res, j.nFaults, j.nPOs); err != nil {
+		return err
+	}
+	c.mu.Lock()
 	if j.done[idx] || j.err != nil {
 		c.stats.Duplicates++
+		c.mu.Unlock()
 		return nil
-	}
-	switch j.kind {
-	case KindDetect:
-		for i, v := range res.DetBy {
-			j.detBy[int(spec.lo)+i] = int(v)
-			if v >= 0 {
-				j.detected++
-			}
-		}
-	case KindDictionary:
-		for _, row := range res.Rows {
-			copy(j.sigs[row.Fi].Bits[row.Po][spec.lo:spec.hi], row.Words)
-		}
 	}
 	j.done[idx] = true
 	delete(j.inflight, idx)
+	c.mu.Unlock()
+
+	if j.journal != nil {
+		if err := j.journal.Append(res); err != nil {
+			c.mu.Lock()
+			c.failJobLocked(j, fmt.Errorf("journal append: %w", err))
+			c.mu.Unlock()
+			return nil
+		}
+		if c.hitCrash(j, chaos.CrashAfterResultBeforeSync) {
+			return nil
+		}
+		if err := j.journal.Sync(); err != nil {
+			c.mu.Lock()
+			c.failJobLocked(j, fmt.Errorf("journal sync: %w", err))
+			c.mu.Unlock()
+			return nil
+		}
+		if c.hitCrash(j, chaos.CrashAfterJournalSync) {
+			return nil
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.err != nil {
+		return nil // crashed or failed between claim and merge; result discarded
+	}
+	j.merge(idx, res)
 	j.nDone++
 	if j.nDone == len(j.specs) {
 		select {
@@ -584,6 +745,9 @@ func (c *Coordinator) serveJob(j *job, conn net.Conn, workerID string) error {
 		if err := WriteFrame(conn, FrameShard, sm.encode()); err != nil {
 			c.requeue(j, idx)
 			return fmt.Errorf("shard %d write: %w", idx, err)
+		}
+		if c.hitCrash(j, chaos.CrashAfterDispatch) {
+			return ErrCrashed // dispatched, nothing journaled: resume re-dispatches
 		}
 		conn.SetReadDeadline(time.Now().Add(c.cfg.SessionTimeout))
 		ft, payload, err := ReadFrame(conn, c.cfg.MaxFrame)

@@ -1,112 +1,23 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
-	"math/rand"
-	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/circuit"
 	"repro/internal/fault"
 )
 
 // ---------------------------------------------------------------------------
-// flakyConn: a net.Conn wrapper that sabotages writes on a per-connection
-// schedule — drop (swallow silently), corrupt (flip a payload bit), or
-// truncate (half the frame, then kill the connection). Because our frames
-// are written with a single Write call, write index == frame index, which
-// makes the schedules deterministic.
-
-type writeOp int
-
-const (
-	opPass writeOp = iota
-	opDrop
-	opCorrupt
-	opTruncate
-)
-
-type flakyConn struct {
-	net.Conn
-	mu   sync.Mutex
-	plan []writeOp
-	idx  int
-}
-
-func (f *flakyConn) Write(b []byte) (int, error) {
-	f.mu.Lock()
-	op := opPass
-	if f.idx < len(f.plan) {
-		op = f.plan[f.idx]
-	}
-	f.idx++
-	f.mu.Unlock()
-	switch op {
-	case opDrop:
-		return len(b), nil // pretend success; the peer waits on nothing
-	case opCorrupt:
-		c := append([]byte(nil), b...)
-		c[len(c)-1] ^= 0x40 // last byte sits in the payload for every frame
-		return f.Conn.Write(c)
-	case opTruncate:
-		f.Conn.Write(b[:len(b)/2])
-		f.Conn.Close()
-		return len(b) / 2, errors.New("flaky: truncated write")
-	}
-	return f.Conn.Write(b)
-}
-
-// flakyDialer applies plans[i] to the i-th dialed connection; connections
-// past the schedule are clean, so every test converges.
-type flakyDialer struct {
-	lb    *Loopback
-	mu    sync.Mutex
-	n     int
-	plans [][]writeOp
-}
-
-func (d *flakyDialer) Dial() (net.Conn, error) {
-	c, err := d.lb.Dial()
-	if err != nil {
-		return nil, err
-	}
-	d.mu.Lock()
-	i := d.n
-	d.n++
-	d.mu.Unlock()
-	if i < len(d.plans) {
-		return &flakyConn{Conn: c, plan: d.plans[i]}, nil
-	}
-	return c, nil
-}
-
-// flakyListener is the server-side twin: it sabotages the coordinator's
-// writes on the i-th accepted connection.
-type flakyListener struct {
-	net.Listener
-	mu    sync.Mutex
-	n     int
-	plans [][]writeOp
-}
-
-func (l *flakyListener) Accept() (net.Conn, error) {
-	c, err := l.Listener.Accept()
-	if err != nil {
-		return nil, err
-	}
-	l.mu.Lock()
-	i := l.n
-	l.n++
-	l.mu.Unlock()
-	if i < len(l.plans) {
-		return &flakyConn{Conn: c, plan: l.plans[i]}, nil
-	}
-	return c, nil
-}
+// Flaky-wire tests, built on the internal/chaos injectors: per-connection
+// write schedules (drop / corrupt / truncate) applied by chaos.Dialer on
+// the worker side and chaos.WrapListener on the coordinator side. Because
+// our frames are written with a single Write call, write index == frame
+// index, which makes the schedules deterministic at the protocol level.
 
 // logRecorder captures coordinator log lines so tests can pin the typed
 // error classification that reached the failure handler.
@@ -168,7 +79,7 @@ func TestFlakyDroppedResultRecovers(t *testing.T) {
 		Logf:           rec.logf,
 	})
 	// Connection 1: hello passes, the result frame is swallowed.
-	d := &flakyDialer{lb: lb, plans: [][]writeOp{{opPass, opDrop}}}
+	d := chaos.NewDialer(lb.Dial, chaos.Plan(chaos.Pass, chaos.Drop))
 	startWorkerDial(t, d.Dial, "droppy")
 	compareDetect(t, run(c), want)
 	if st := c.Stats(); st.WorkersLost < 1 {
@@ -187,7 +98,7 @@ func TestFlakyCorruptedResultRecovers(t *testing.T) {
 		Deadline:    200 * time.Millisecond,
 		Logf:        rec.logf,
 	})
-	d := &flakyDialer{lb: lb, plans: [][]writeOp{{opPass, opCorrupt}}}
+	d := chaos.NewDialer(lb.Dial, chaos.Plan(chaos.Pass, chaos.Corrupt))
 	startWorkerDial(t, d.Dial, "bitrot")
 	compareDetect(t, run(c), want)
 	if !rec.contains("payload hash") {
@@ -208,7 +119,7 @@ func TestFlakyTruncatedResultRecovers(t *testing.T) {
 		Deadline:    200 * time.Millisecond,
 		Logf:        rec.logf,
 	})
-	d := &flakyDialer{lb: lb, plans: [][]writeOp{{opPass, opTruncate}}}
+	d := chaos.NewDialer(lb.Dial, chaos.Plan(chaos.Pass, chaos.Truncate))
 	startWorkerDial(t, d.Dial, "chopper")
 	compareDetect(t, run(c), want)
 	if !rec.contains("truncated") {
@@ -228,7 +139,7 @@ func TestFlakyCoordinatorWritesRecover(t *testing.T) {
 	lb := NewLoopback()
 	// Accepted connection 1: setup passes, the first shard frame is
 	// corrupted. Later connections are clean.
-	fl := &flakyListener{Listener: lb, plans: [][]writeOp{{opPass, opCorrupt}}}
+	fl := chaos.WrapListener(lb, chaos.Plan(chaos.Pass, chaos.Corrupt))
 	c := startCoordinatorOn(t, Config{
 		ShardFaults: len(faults),
 		Deadline:    200 * time.Millisecond,
@@ -251,23 +162,18 @@ func TestFlakyRandomScheduleConverges(t *testing.T) {
 	p := testPatterns(n, 260, 81)
 	want := serialDetect(t, n, p, faults)
 
-	rng := rand.New(rand.NewSource(99))
-	randPlan := func(k int) []writeOp {
-		plan := make([]writeOp, k)
-		for i := range plan {
-			plan[i] = []writeOp{opPass, opPass, opDrop, opCorrupt}[rng.Intn(4)]
-		}
-		return plan
-	}
+	w := chaos.Weights{Pass: 2, Drop: 1, Corrupt: 1}
 	lb := NewLoopback()
-	fl := &flakyListener{Listener: lb, plans: [][]writeOp{randPlan(4), randPlan(4)}}
+	fl := chaos.WrapListener(lb,
+		chaos.RandomSchedule(chaos.Split(99, 0), 4, w),
+		chaos.RandomSchedule(chaos.Split(99, 1), 4, w))
 	c := startCoordinatorOn(t, Config{
 		ShardFaults:    16,
 		Deadline:       100 * time.Millisecond,
 		SessionTimeout: 300 * time.Millisecond,
 	}, fl)
 	for i := 0; i < 2; i++ {
-		d := &flakyDialer{lb: lb, plans: [][]writeOp{randPlan(5), randPlan(3)}}
+		d := chaos.NewSeededDialer(lb.Dial, chaos.Split(99, uint64(2+i)), 2, 5, w)
 		startWorkerDial(t, d.Dial, fmt.Sprintf("flaky-%d", i))
 	}
 	got, err := c.Detect(testCtx(t), n, p, faults, 4)
@@ -276,4 +182,62 @@ func TestFlakyRandomScheduleConverges(t *testing.T) {
 	}
 	compareDetect(t, got, want)
 	t.Logf("converged with stats %+v", c.Stats())
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect jitter.
+
+// TestWorkerBackoffJitterDeterministic pins the jittered reconnect
+// schedule: a fixed seed yields a fixed delay sequence, every delay stays
+// inside (backoff/2, backoff], and two workers with different IDs draw
+// different sequences — the anti-thundering-herd property.
+func TestWorkerBackoffJitterDeterministic(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		rng := chaos.NewRand(seed)
+		var out []time.Duration
+		backoff := 50 * time.Millisecond
+		for i := 0; i < 8; i++ {
+			out = append(out, jitterBackoff(rng, backoff))
+			backoff = min(backoff*2, 2*time.Second)
+		}
+		return out
+	}
+	a := (&Worker{ID: "w1"}).seed()
+	b := (&Worker{ID: "w2"}).seed()
+	if a == b {
+		t.Fatal("distinct IDs derived the same jitter seed")
+	}
+	if (&Worker{ID: "w1", Seed: 7}).seed() != 7 {
+		t.Fatal("explicit seed not honored")
+	}
+
+	s1, s2 := draw(a), draw(a)
+	backoff := 50 * time.Millisecond
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("attempt %d: schedule not deterministic (%v vs %v)", i, s1[i], s2[i])
+		}
+		if s1[i] <= backoff/2 || s1[i] > backoff {
+			t.Fatalf("attempt %d: delay %v outside (%v, %v]", i, s1[i], backoff/2, backoff)
+		}
+		backoff = min(backoff*2, 2*time.Second)
+	}
+	sb := draw(b)
+	same := 0
+	for i := range s1 {
+		if s1[i] == sb[i] {
+			same++
+		}
+	}
+	if same == len(s1) {
+		t.Fatal("two workers share an identical jitter schedule: thundering herd")
+	}
+
+	// Degenerate inputs never panic and never exceed the envelope.
+	rng := chaos.NewRand(1)
+	for _, d := range []time.Duration{0, 1, 2, time.Nanosecond} {
+		if got := jitterBackoff(rng, d); got > d || got < 0 {
+			t.Fatalf("jitter(%v) = %v", d, got)
+		}
+	}
 }

@@ -389,21 +389,51 @@ func decodeDone(payload []byte) (*doneMsg, error) {
 // (circuit.MarshalBinary), whose round trip preserves gate IDs and PI/PO
 // order exactly — the property that lets coordinator and workers index one
 // another's fault lists and signature rows without any mapping.
-func encodeSetup(jobID uint64, kind JobKind, words int, n *circuit.Netlist, p *logic.PatternSet, faults []fault.Fault) ([]byte, error) {
+func encodeSetup(jobID uint64, kind JobKind, words int, n *circuit.Netlist, p *logic.PatternSet, faults []fault.Fault) ([]byte, [32]byte, error) {
 	netBytes, err := n.MarshalBinary()
 	if err != nil {
-		return nil, err
+		return nil, [32]byte{}, err
 	}
+	netHash := sha256.Sum256(netBytes)
 	m := &setupMsg{
 		JobID:    jobID,
 		Kind:     kind,
 		Words:    uint8(words),
 		NetBytes: netBytes,
-		NetHash:  sha256.Sum256(netBytes),
+		NetHash:  netHash,
 		Inputs:   p.Inputs,
 		NPat:     p.N,
 		PatBits:  p.Bits,
 		Faults:   faults,
 	}
-	return m.encode(), nil
+	return m.encode(), netHash, nil
+}
+
+// hashJobInputs digests the job inputs the circuit hash does not cover —
+// the pattern bits and the explicit fault list — so a journal header can
+// pin a job to its exact inputs, not just its circuit.
+func hashJobInputs(p *logic.PatternSet, faults []fault.Fault) [32]byte {
+	h := sha256.New()
+	var b [8]byte
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(b[:4], v)
+		h.Write(b[:4])
+	}
+	put32(uint32(p.Inputs))
+	put32(uint32(p.N))
+	for _, row := range p.Bits {
+		for _, w := range row {
+			binary.BigEndian.PutUint64(b[:], uint64(w))
+			h.Write(b[:])
+		}
+	}
+	put32(uint32(len(faults)))
+	for _, f := range faults {
+		put32(uint32(f.Gate))
+		put32(uint32(int32(f.Pin)))
+		h.Write([]byte{f.SA})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }

@@ -141,7 +141,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p.RandFill(rng.Uint64)
 	faults := fault.Universe(n)
-	payload, err := encodeSetup(11, KindDictionary, 4, n, p, faults)
+	payload, _, err := encodeSetup(11, KindDictionary, 4, n, p, faults)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -29,8 +31,35 @@ type Worker struct {
 	// MinBackoff/MaxBackoff bound the reconnect delay (defaults 50ms / 2s).
 	MinBackoff time.Duration
 	MaxBackoff time.Duration
+	// Seed drives the reconnect jitter stream. Zero derives a seed from ID,
+	// so a fleet of workers that lost the same coordinator at the same
+	// instant still spreads its reconnect attempts instead of stampeding
+	// the restarted process in lockstep.
+	Seed uint64
 	// Logf receives progress lines (nil discards them).
 	Logf func(format string, args ...any)
+}
+
+// seed returns the jitter seed: Seed if set, else a digest of ID. Distinct
+// IDs give decorrelated jitter streams by construction.
+func (w *Worker) seed() uint64 {
+	if w.Seed != 0 {
+		return w.Seed
+	}
+	s := sha256.Sum256([]byte(w.ID))
+	return binary.BigEndian.Uint64(s[:8])
+}
+
+// jitterBackoff draws the actual reconnect delay for one attempt:
+// uniformly in (backoff/2, backoff], so the exponential envelope is kept
+// (delays never exceed backoff, never collapse below half of it) while
+// synchronized workers decorrelate within one attempt.
+func jitterBackoff(rng *chaos.Rand, backoff time.Duration) time.Duration {
+	if backoff <= 1 {
+		return backoff
+	}
+	half := backoff / 2
+	return backoff - time.Duration(rng.Uint64()%uint64(half))
 }
 
 // Run connects, serves, and reconnects until ctx is cancelled (its error is
@@ -49,6 +78,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	rng := chaos.NewRand(w.seed())
 	backoff := minB
 	for {
 		if err := ctx.Err(); err != nil {
@@ -70,7 +100,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(rng, backoff)):
 		}
 		backoff = min(backoff*2, maxB)
 	}

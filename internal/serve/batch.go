@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -33,6 +34,12 @@ type batchItem[Req, Resp any] struct {
 // fails fast with ErrQueueFull so callers can shed load explicitly.
 type Batcher[Req, Resp any] struct {
 	fn       func([]Req) []Resp
+	// PanicHandler, when set, converts a panic escaping fn into one response
+	// that answers every item of the failed batch — the worker goroutine
+	// survives and keeps batching. When nil, the panic propagates and kills
+	// the process (a batch worker panic is otherwise unrecoverable). Set it
+	// before the first Do.
+	PanicHandler func(rec any) Resp
 	maxBatch int
 	window   time.Duration
 	queue    chan batchItem[Req, Resp]
@@ -188,7 +195,7 @@ func (b *Batcher[Req, Resp]) run(batch []batchItem[Req, Resp]) {
 	for i, it := range live {
 		reqs[i] = it.req
 	}
-	resps := b.fn(reqs)
+	resps := b.call(reqs)
 	b.batches.Add(1)
 	b.items.Add(int64(len(live)))
 	for {
@@ -200,6 +207,36 @@ func (b *Batcher[Req, Resp]) run(batch []batchItem[Req, Resp]) {
 	for i, it := range live {
 		it.out <- resps[i]
 	}
+}
+
+// call invokes fn, converting an escaping panic (or a response slice of the
+// wrong length, which would corrupt the index alignment) into PanicHandler
+// responses for the whole batch.
+func (b *Batcher[Req, Resp]) call(reqs []Req) (resps []Resp) {
+	fill := func(rec any) []Resp {
+		resp := b.PanicHandler(rec)
+		out := make([]Resp, len(reqs))
+		for i := range out {
+			out[i] = resp
+		}
+		return out
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if b.PanicHandler == nil {
+				panic(rec)
+			}
+			resps = fill(rec)
+		}
+	}()
+	resps = b.fn(reqs)
+	if len(resps) != len(reqs) {
+		if b.PanicHandler == nil {
+			panic(fmt.Sprintf("serve: batch fn returned %d responses for %d requests", len(resps), len(reqs)))
+		}
+		resps = fill(fmt.Errorf("batch fn returned %d responses for %d requests", len(resps), len(reqs)))
+	}
+	return resps
 }
 
 // Stats reports lifetime batching counters (for /debug/vars).

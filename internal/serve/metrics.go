@@ -72,7 +72,16 @@ type endpointStats struct {
 type Metrics struct {
 	eps      map[string]*endpointStats
 	inflight atomic.Int64
+	panics   atomic.Int64
 }
+
+// RecordPanic counts one recovered panic (handler or model inference). A
+// nonzero value in /debug/vars is the operational signal that a model or
+// handler is broken even though the process keeps serving.
+func (m *Metrics) RecordPanic() { m.panics.Add(1) }
+
+// Panics reports the number of recovered panics so far.
+func (m *Metrics) Panics() int64 { return m.panics.Load() }
 
 // NewMetrics builds counters for a fixed endpoint set and registers them
 // with the process-wide expvar publication.
@@ -129,6 +138,7 @@ func (m *Metrics) Snapshot() map[string]any {
 		out[name] = stats
 	}
 	out["inflight"] = m.inflight.Load()
+	out["panics"] = m.panics.Load()
 	return out
 }
 

@@ -136,15 +136,27 @@ func (r *Registry) Install(a *Artifact) (prev ModelMeta, err error) {
 	return ModelMeta{}, fmt.Errorf("serve: unknown artifact kind %q", a.Kind)
 }
 
+// LoadSummary reports the outcome of one directory scan.
+type LoadSummary struct {
+	// Installed counts the models swapped in (the newest version per kind).
+	Installed int
+	// Skipped lists "file: reason" for every artifact that could not be
+	// read, parsed or installed. Skips never abort the scan — one corrupt
+	// file must not take down the SIGHUP reload of every healthy model.
+	Skipped []string
+}
+
 // LoadDir installs the newest version of every kind found among the
 // "*.json" artifacts under dir. Older files may stay in the directory:
 // only the per-kind maximum is installed, so a SIGHUP rescan over an
 // unchanged directory is an idempotent no-op rather than a downgrade
-// error. It returns how many models were installed.
-func (r *Registry) LoadDir(dir string) (int, error) {
+// error. Corrupt or unparseable files are skipped (and listed in the
+// summary), not fatal; only an unreadable directory is an error.
+func (r *Registry) LoadDir(dir string) (LoadSummary, error) {
+	var sum LoadSummary
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, err
+		return sum, err
 	}
 	newest := map[string]*Artifact{}
 	for _, e := range entries {
@@ -153,7 +165,8 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 		}
 		a, err := ReadArtifact(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return 0, err
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
 		}
 		if best := newest[a.Kind]; best == nil || a.Version > best.Version {
 			newest[a.Kind] = a
@@ -165,12 +178,12 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
-	n := 0
 	for _, k := range kinds {
 		if _, err := r.Install(newest[k]); err != nil {
-			return n, err
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", k, err))
+			continue
 		}
-		n++
+		sum.Installed++
 	}
-	return n, nil
+	return sum, nil
 }

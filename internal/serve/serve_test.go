@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/outlier"
 	"repro/internal/wafer"
 )
@@ -360,12 +362,12 @@ func TestRegistryLoadDir(t *testing.T) {
 		}
 	}
 	reg := NewRegistry()
-	n, err := reg.LoadDir(dir)
+	sum, err := reg.LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Errorf("installed %d models, want 2 (newest version per kind)", n)
+	if sum.Installed != 2 || len(sum.Skipped) != 0 {
+		t.Errorf("summary %+v, want 2 installed (newest version per kind), 0 skipped", sum)
 	}
 	if v := reg.Wafer().Meta.Version; v != 2 {
 		t.Errorf("live wafer model v%d, want highest version 2", v)
@@ -375,11 +377,63 @@ func TestRegistryLoadDir(t *testing.T) {
 	}
 	// A rescan over the unchanged directory (the SIGHUP path) must be an
 	// idempotent no-op, not a downgrade error on the stale v1 file.
-	if n, err = reg.LoadDir(dir); err != nil || n != 2 {
-		t.Errorf("rescan: %d models, err %v; want 2, nil", n, err)
+	if sum, err = reg.LoadDir(dir); err != nil || sum.Installed != 2 {
+		t.Errorf("rescan: %+v, err %v; want 2 installed, nil", sum, err)
 	}
 	if v := reg.Wafer().Meta.Version; v != 2 {
-		t.Errorf("rescan changed the live wafer model to v%d", v)
+		t.Errorf("rescan changed the live wafer model to v%v", reg.Wafer().Meta.Version)
+	}
+}
+
+// TestRegistryLoadDirSkipsCorrupt pins the scan's fault isolation: corrupt
+// files alongside healthy artifacts are skipped and reported, never fatal —
+// a half-written upload must not take down a SIGHUP reload.
+func TestRegistryLoadDirSkipsCorrupt(t *testing.T) {
+	w1, w2, o1 := testArtifacts(t)
+	dir := t.TempDir()
+	for name, a := range map[string]*Artifact{"w1.json": w1, "w2.json": w2, "o1.json": o1} {
+		if err := a.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt := map[string]string{
+		"torn.json":    `{"schema": "itr-model/v1", "kind": "wafer-`, // truncated mid-write
+		"garbage.json": "\x00\x01\x02 not json at all",
+		"badkind.json": `{"schema": "itr-model/v1", "kind": "mystery", "name": "x", "version": 9, "payload": {}}`,
+	}
+	for name, body := range corrupt {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-.json files are not artifacts and must be ignored outright.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	sum, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Installed != 2 {
+		t.Errorf("installed %d models, want 2 despite corrupt files", sum.Installed)
+	}
+	if len(sum.Skipped) != len(corrupt) {
+		t.Errorf("skipped %v, want one entry per corrupt file (%d)", sum.Skipped, len(corrupt))
+	}
+	for _, s := range sum.Skipped {
+		name := s[:strings.IndexByte(s, ':')]
+		if _, ok := corrupt[name]; !ok {
+			t.Errorf("skip entry %q does not name a corrupt file", s)
+		}
+	}
+	if !reg.Ready() || reg.Wafer().Meta.Version != 2 {
+		t.Errorf("healthy artifacts not installed around the corrupt ones: ready=%v", reg.Ready())
+	}
+	// A directory that cannot be read at all is still a hard error.
+	if _, err := reg.LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("LoadDir on a missing directory must fail")
 	}
 }
 
@@ -563,5 +617,123 @@ func TestServeLoadConcurrent(t *testing.T) {
 	}
 	if inflight := snap["inflight"].(int64); inflight != 0 {
 		t.Errorf("inflight = %d after the storm, want 0", inflight)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Panic isolation.
+
+// panicScorer is an installed model whose inference blows up: the per-item
+// recovery in scoreBatch must convert that into a 500 for the one request,
+// not a dead batch worker (which would hang every later request) or a dead
+// process.
+type panicScorer struct{}
+
+func (panicScorer) Fit([][]float64) error   { return nil }
+func (panicScorer) Score([]float64) float64 { panic("scorer poisoned") }
+
+// TestServePanicRecovery hammers panicking models from many goroutines
+// (meaningful under -race): every request gets an answer, every answer is a
+// 500, the panics counter accounts for them, and the server still serves
+// healthy traffic afterwards.
+func TestServePanicRecovery(t *testing.T) {
+	_, _, o1 := testArtifacts(t)
+	reg := NewRegistry()
+	// A zero-value classifier panics in GridSize() before the per-item
+	// fan-out — the batch-level PanicHandler path.
+	reg.wafer.Store(&WaferModel{
+		Meta: ModelMeta{Kind: KindWaferHDC, Name: "broken", Version: 1},
+		Cls:  &core.HDCWaferClassifier{},
+	})
+	// A poisoned scorer panics per item inside parallel.For — the per-item
+	// recovery path.
+	reg.outlier.Store(&OutlierModel{
+		Meta:   ModelMeta{Kind: KindOutlierScreen, Name: "broken", Version: 1},
+		Method: "poisoned", Tests: 3, Scorer: panicScorer{},
+	})
+	s := newTestServer(t, Config{Registry: reg, MaxBatch: 4, QueueCap: 256, MaxInFlight: 256})
+
+	grid := make([][]uint8, 16)
+	for r := range grid {
+		grid[r] = make([]uint8, 16)
+	}
+	const n = 40
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var rec *httptest.ResponseRecorder
+			if i%2 == 0 {
+				rec = doJSON(t, s.Handler(), "POST", epWaferClassify, WaferClassifyRequest{Cells: grid})
+			} else {
+				rec = doJSON(t, s.Handler(), "POST", epOutlierScore, OutlierScoreRequest{X: []float64{1, 2, 3}})
+			}
+			codes[i], bodies[i] = rec.Code, rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d (%s), want 500", i, code, bodies[i])
+		}
+		if !strings.Contains(bodies[i], "panicked") {
+			t.Errorf("request %d: body %q does not name the panic", i, bodies[i])
+		}
+	}
+	// The score path panics per item (n/2 requests); the wafer path panics
+	// per batch, so its count depends on coalescing — at least one.
+	if p := s.Metrics().Panics(); p < n/2+1 {
+		t.Errorf("panics counter = %d, want >= %d", p, n/2+1)
+	}
+	if snap := s.Metrics().Snapshot(); snap["panics"].(int64) < n/2+1 {
+		t.Error("/debug/vars snapshot does not expose the panics counter")
+	}
+
+	// The batch workers survived: swapping in a healthy model heals the
+	// endpoint with no restart.
+	if _, err := reg.Install(o1); err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, s.Handler(), "POST", epOutlierScore,
+		OutlierScoreRequest{X: make([]float64, reg.Outlier().Tests)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after heal: status %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+}
+
+// TestServeHandlerPanicRecovery pins the middleware layer: a handler that
+// panics outright answers 500 (unless it already committed a status) and
+// the server's connection goroutine survives.
+func TestServeHandlerPanicRecovery(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.instrument(epHealthz, func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", epHealthz, nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if s.Metrics().Panics() == 0 {
+		t.Error("handler panic not counted")
+	}
+
+	// A panic after the handler committed a response must not try to write
+	// a second status line.
+	before := s.Metrics().Panics()
+	h = s.instrument(epHealthz, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late explosion")
+	})
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", epHealthz, nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("committed status rewritten to %d", rec.Code)
+	}
+	if s.Metrics().Panics() != before+1 {
+		t.Error("late handler panic not counted")
 	}
 }

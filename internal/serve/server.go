@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -111,6 +112,10 @@ type Server struct {
 // errNoModel is returned per-item when the slot has no installed model.
 var errNoModel = errors.New("no model installed")
 
+// errModelPanic is returned per-item when model inference panicked; the
+// request fails with 500 but the server (and the batch worker) keep going.
+var errModelPanic = errors.New("model inference panicked")
+
 // New builds a Server around a registry. Call Close when done to drain the
 // batchers and release the metrics registration.
 func New(cfg Config) *Server {
@@ -125,6 +130,17 @@ func New(cfg Config) *Server {
 	}
 	s.waferB = NewBatcher(cfg.MaxBatch, cfg.QueueCap, cfg.FlushWindow, s.waferBatch)
 	s.scoreB = NewBatcher(cfg.MaxBatch, cfg.QueueCap, cfg.FlushWindow, s.scoreBatch)
+	// A panic escaping a whole batch (e.g. a broken model blowing up before
+	// per-item fan-out) fails that batch's requests with 500 instead of
+	// killing the batch worker — and with it the process.
+	s.waferB.PanicHandler = func(rec any) waferOut {
+		s.recordPanic("wafer batch", rec)
+		return waferOut{err: errModelPanic}
+	}
+	s.scoreB.PanicHandler = func(rec any) scoreOut {
+		s.recordPanic("score batch", rec)
+		return scoreOut{err: errModelPanic}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+epWaferClassify, s.instrument(epWaferClassify, s.handleWaferClassify))
@@ -206,8 +222,36 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		h(sw, r.WithContext(ctx))
+		s.serveRecovered(h, sw, r.WithContext(ctx))
 		s.finish(name, r, sw, start)
+	}
+}
+
+// serveRecovered runs one handler with panic isolation: a panicking handler
+// answers 500 (unless it already committed a response) and the panic is
+// counted and logged with its stack instead of tearing down the server's
+// connection goroutine.
+func (s *Server) serveRecovered(h http.HandlerFunc, sw *statusWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.recordPanic(r.URL.Path, rec)
+			if sw.status == 0 {
+				writeError(sw, http.StatusInternalServerError, "internal server error")
+			}
+		}
+	}()
+	h(sw, r)
+}
+
+// recordPanic bumps the panics counter and logs the stack trace of a
+// recovered panic.
+func (s *Server) recordPanic(where string, rec any) {
+	s.metrics.RecordPanic()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Error("recovered panic",
+			slog.String("where", where),
+			slog.Any("panic", rec),
+			slog.String("stack", string(debug.Stack())))
 	}
 }
 
@@ -353,6 +397,14 @@ func (s *Server) waferBatch(maps []*wafer.Map) []waferOut {
 	}
 	size := model.Cls.GridSize()
 	_ = parallel.For(s.cfg.Workers, len(maps), func(i int) error {
+		// Per-item isolation: one map that crashes the model fails only its
+		// own request; its batchmates still get real answers.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.recordPanic("wafer predict", rec)
+				out[i] = waferOut{err: errModelPanic}
+			}
+		}()
 		if maps[i].Size != size {
 			out[i] = waferOut{err: fmt.Errorf("grid is %dx%d, model expects %dx%d",
 				maps[i].Size, maps[i].Size, size, size)}
@@ -377,6 +429,12 @@ func (s *Server) scoreBatch(xs [][]float64) []scoreOut {
 		return out
 	}
 	_ = parallel.For(s.cfg.Workers, len(xs), func(i int) error {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.recordPanic("outlier score", rec)
+				out[i] = scoreOut{err: errModelPanic}
+			}
+		}()
 		if len(xs[i]) != model.Tests {
 			out[i] = scoreOut{err: fmt.Errorf("x has %d tests, model expects %d",
 				len(xs[i]), model.Tests)}
@@ -414,8 +472,11 @@ func (s *Server) handleWaferClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(res.err, errNoModel) {
+		switch {
+		case errors.Is(res.err, errNoModel):
 			status = http.StatusServiceUnavailable
+		case errors.Is(res.err, errModelPanic):
+			status = http.StatusInternalServerError
 		}
 		writeError(w, status, res.err.Error())
 		return
@@ -481,8 +542,11 @@ func (s *Server) scoreOne(w http.ResponseWriter, r *http.Request) (scoreOut, boo
 	}
 	if res.err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(res.err, errNoModel) {
+		switch {
+		case errors.Is(res.err, errNoModel):
 			status = http.StatusServiceUnavailable
+		case errors.Is(res.err, errModelPanic):
+			status = http.StatusInternalServerError
 		}
 		writeError(w, status, res.err.Error())
 		return scoreOut{}, false
