@@ -15,8 +15,16 @@
 // Usage:
 //
 //	itrserve -demo                        # train small built-in models, serve on :8080
-//	itrserve -models DIR                  # load *.json artifacts from DIR
+//	itrserve -models DIR                  # load *.json / *.itm artifacts from DIR
 //	itrserve -probe http://host:8080      # client mode: exercise a running server
+//	itrserve -migrate DIR                 # one-shot v1 JSON -> v2 binary conversion, then exit
+//	itrserve -demo -replicate-listen :9090        # also serve the artifact store to replicas
+//	itrserve -replicate-from host:9090 -models D  # pull missing artifacts before serving
+//	itrserve -replicate-from host:9090 -replicate-only  # sync and exit (cron/CI)
+//
+// Replication is content-addressed: every artifact is verified against its
+// embedded blake2b-256 content hash before install, so a corrupted link or
+// store yields a typed refusal, never a wrong model.
 //
 // SIGTERM/SIGINT drain in-flight requests before exiting; SIGHUP re-scans
 // the -models directory (hot swap without restart).
@@ -57,6 +65,12 @@ func main() {
 		size        = flag.Int("size", 32, "demo model wafer grid size")
 		seed        = flag.Int64("seed", 1, "demo model training seed")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+
+		migrate    = flag.String("migrate", "", "one-shot mode: convert v1 JSON artifacts in DIR to itr-model/v2 binary, then exit")
+		repListen  = flag.String("replicate-listen", "", "also serve the artifact store to replicas on this address")
+		repFrom    = flag.String("replicate-from", "", "pull missing artifacts from a peer's replication address before serving")
+		repOnly    = flag.Bool("replicate-only", false, "with -replicate-from: sync, print the report and exit")
+		repCorrupt = flag.Int64("replicate-corrupt", 0, "chaos hook: corrupt the Nth artifact served to replicas (testing)")
 	)
 	flag.Parse()
 
@@ -67,6 +81,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("probe ok")
+		return
+	}
+	if *migrate != "" {
+		if err := runMigrate(*migrate); err != nil {
+			fmt.Fprintln(os.Stderr, "itrserve: migrate:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -89,8 +110,42 @@ func main() {
 		logger.Info("loaded model artifacts", "dir", *modelDir,
 			"count", sum.Installed, "skipped", len(sum.Skipped))
 	}
+	if *repFrom != "" {
+		rep, err := serve.ReplicateFrom(*repFrom, reg, *modelDir, 30*time.Second)
+		if err != nil {
+			fatal(logger, fmt.Errorf("replicate from %s: %w", *repFrom, err))
+		}
+		for _, s := range rep.Skipped {
+			logger.Warn("replication skipped artifact", "reason", s)
+		}
+		for _, m := range rep.Pulled {
+			logger.Info("replicated artifact", "kind", m.Kind, "name", m.Name,
+				"version", m.Version, "hash", m.Hash[:12])
+		}
+		logger.Info("replication synced", "peer", *repFrom, "pulled", len(rep.Pulled),
+			"already_present", rep.AlreadyHad, "remote_manifest", len(rep.Remote))
+		if *repOnly {
+			fmt.Printf("replicated %d artifacts from %s (%d already present)\n",
+				len(rep.Pulled), *repFrom, rep.AlreadyHad)
+			return
+		}
+	}
+	var repSrv *serve.RepServer
+	if *repListen != "" {
+		var err error
+		repSrv, err = serve.NewRepServer(reg, *repListen, logger)
+		if err != nil {
+			fatal(logger, err)
+		}
+		repSrv.CorruptNth = *repCorrupt
+		repSrv.CorruptOffset = -1
+		go repSrv.Serve()
+		defer repSrv.Close()
+		logger.Info("replication listener up", "addr", repSrv.Addr())
+	}
 	for _, m := range reg.Models() {
-		logger.Info("model installed", "kind", m.Kind, "name", m.Name, "version", m.Version)
+		logger.Info("model installed", "kind", m.Kind, "name", m.Name,
+			"version", m.Version, "hash", m.Hash[:12])
 	}
 	if !reg.Ready() {
 		logger.Warn("registry incomplete: /readyz will report 503 until every slot has a model " +
@@ -163,6 +218,25 @@ func main() {
 func fatal(logger *slog.Logger, err error) {
 	logger.Error("fatal", "err", err)
 	os.Exit(1)
+}
+
+// runMigrate converts every v1 JSON artifact in dir to the binary v2
+// format, printing sizes and content hashes. Originals stay as .v1.bak.
+func runMigrate(dir string) error {
+	sum, err := serve.MigrateDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, m := range sum.Migrated {
+		fmt.Printf("%s -> %s: %d -> %d bytes, hash %s\n",
+			m.File, m.NewFile, m.OldBytes, m.NewBytes, m.Hash)
+	}
+	for _, s := range sum.Skipped {
+		fmt.Fprintf(os.Stderr, "skipped %s\n", s)
+	}
+	fmt.Printf("migrated %d artifacts (%d skipped); originals kept as *.v1.bak\n",
+		len(sum.Migrated), len(sum.Skipped))
+	return nil
 }
 
 // runProbe exercises a running server end to end: health, readiness, one

@@ -7,8 +7,9 @@
 //	itrwafer                      # train + evaluate all classifiers
 //	itrwafer -show Scratch        # print an example map of one class
 //	itrwafer -dim 8192 -train 80  # bigger hypervectors / training set
-//	itrwafer -export model.json   # train and save an itr-model/v1 artifact
-//	itrwafer -import model.json   # evaluate a saved artifact (itrserve's input)
+//	itrwafer -export model.json   # train and save an itr-model/v1 JSON artifact
+//	itrwafer -export model.itm    # same model in the binary itr-model/v2 format
+//	itrwafer -import model.json   # evaluate a saved artifact (either format)
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -123,10 +125,16 @@ func exportModel(path string, cfg wafer.Config, dim, trainN int, seed int64, ver
 		return err
 	}
 	a.CreatedUnix = time.Now().Unix()
+	if strings.HasSuffix(path, ".itm") {
+		if a, err = a.ToV2(); err != nil {
+			return err
+		}
+	}
 	if err := a.WriteFile(path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s artifact v%d to %s\n", a.Kind, a.Version, path)
+	fmt.Printf("wrote %s artifact v%d (%s) to %s, hash %s\n",
+		a.Kind, a.Version, a.Schema, path, a.Hash)
 	return nil
 }
 

@@ -213,6 +213,66 @@ func TestItrwaferExportImport(t *testing.T) {
 	}
 }
 
+// TestItrwaferExportImportV2 pins the binary artifact path end to end: an
+// ".itm" export writes the itr-model/v2 format, import sniffs it, and the
+// evaluation report matches the v1 JSON export of the identical model
+// line for line (same training seed, same predictions — only the file
+// format differs).
+func TestItrwaferExportImportV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "wafer.json")
+	binPath := filepath.Join(dir, "wafer.itm")
+	common := []string{"-dim", "512", "-size", "16", "-seed", "5", "-train", "2"}
+	runTool(t, append([]string{"./cmd/itrwafer", "-export", jsonPath}, common...)...)
+	out := runTool(t, append([]string{"./cmd/itrwafer", "-export", binPath}, common...)...)
+	if !strings.Contains(out, "itr-model/v2") || !strings.Contains(out, "hash ") {
+		t.Fatalf("v2 export output:\n%s", out)
+	}
+	imp := func(path string) string {
+		return runTool(t, "./cmd/itrwafer", "-import", path, "-size", "16", "-seed", "5", "-test", "2")
+	}
+	fromJSON, fromBin := imp(jsonPath), imp(binPath)
+	if fromJSON != fromBin {
+		t.Errorf("v1 and v2 imports of the same model diverge:\njson:\n%s\nitm:\n%s", fromJSON, fromBin)
+	}
+}
+
+// TestItrserveMigrate drives the one-shot v1 -> v2 conversion the way an
+// operator would: export a JSON artifact, migrate the directory, check the
+// report (sizes + content hash), the .v1.bak backup, and that the migrated
+// .itm still imports with identical results.
+func TestItrserveMigrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "wafer.json")
+	common := []string{"-dim", "512", "-size", "16", "-seed", "5", "-train", "2"}
+	runTool(t, append([]string{"./cmd/itrwafer", "-export", jsonPath}, common...)...)
+	before := runTool(t, "./cmd/itrwafer", "-import", jsonPath, "-size", "16", "-seed", "5", "-test", "2")
+
+	out := runTool(t, "./cmd/itrserve", "-migrate", dir)
+	for _, needle := range []string{"wafer.json -> wafer.itm:", "hash ", "migrated 1 artifacts (0 skipped)"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("migrate output missing %q:\n%s", needle, out)
+		}
+	}
+	if _, err := os.Stat(jsonPath + ".v1.bak"); err != nil {
+		t.Errorf("backup missing: %v", err)
+	}
+	if _, err := os.Stat(jsonPath); !os.IsNotExist(err) {
+		t.Error("original .json still present after migration")
+	}
+	after := runTool(t, "./cmd/itrwafer", "-import", filepath.Join(dir, "wafer.itm"),
+		"-size", "16", "-seed", "5", "-test", "2")
+	if before != after {
+		t.Errorf("migrated model evaluates differently:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }

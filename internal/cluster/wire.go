@@ -19,37 +19,31 @@
 package cluster
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/wire"
 )
 
-// Frame format, transhift-style explicit framing with easyfl-style content
-// hashing: a fixed header carries a magic, the protocol version, the frame
-// type, the big-endian payload length and the sha256 of the payload. The
-// hash makes payload corruption (truncation, bit rot, desynced streams)
-// a typed error at the frame boundary instead of a garbage decode
-// downstream.
-//
-//	offset  size  field
-//	0       4     magic "ITRC"
-//	4       1     protocol version
-//	5       1     frame type
-//	6       4     payload length (big-endian)
-//	10      32    sha256(payload)
-//	42      n     payload
+// The frame layout (magic, version, type, big-endian length, sha256 of the
+// payload) lives in internal/wire since the artifact-replication protocol
+// adopted it; this file keeps the cluster protocol's identity — its magic,
+// version, frame-type vocabulary — and re-exports the typed errors so
+// existing callers and tests are untouched.
 const (
 	wireMagic   = "ITRC"
 	WireVersion = 1
-	headerSize  = 4 + 1 + 1 + 4 + sha256.Size
+	headerSize  = wire.HeaderSize
 
 	// DefaultMaxFrame bounds a single frame's payload: large enough for a
 	// million-gate setup frame or a dense dictionary shard, small enough
 	// that a corrupt length field cannot trigger a runaway allocation.
-	DefaultMaxFrame = 1 << 28
+	DefaultMaxFrame = wire.DefaultMaxFrame
 )
+
+// proto is the cluster job-dispatch protocol instance.
+var proto = wire.Proto{Magic: wireMagic, Version: WireVersion}
 
 // FrameType discriminates the protocol's message kinds.
 type FrameType uint8
@@ -85,13 +79,14 @@ func (t FrameType) String() string {
 
 // Typed wire errors. Everything a peer can get wrong on the wire maps to
 // exactly one of these (possibly wrapped with context), so failure-path
-// tests can pin the classification with errors.Is.
+// tests can pin the classification with errors.Is. The frame-level errors
+// are the shared internal/wire identities.
 var (
-	ErrBadMagic     = errors.New("cluster: bad frame magic")
-	ErrVersion      = errors.New("cluster: wire protocol version mismatch")
-	ErrFrameTooBig  = errors.New("cluster: frame exceeds size limit")
-	ErrPayloadHash  = errors.New("cluster: frame payload hash mismatch")
-	ErrTruncated    = errors.New("cluster: truncated frame")
+	ErrBadMagic     = wire.ErrBadMagic
+	ErrVersion      = wire.ErrVersion
+	ErrFrameTooBig  = wire.ErrFrameTooBig
+	ErrPayloadHash  = wire.ErrPayloadHash
+	ErrTruncated    = wire.ErrTruncated
 	ErrMalformed    = errors.New("cluster: malformed message payload")
 	ErrJobMismatch  = errors.New("cluster: message for a different job")
 	ErrProtocol     = errors.New("cluster: unexpected frame type")
@@ -102,18 +97,7 @@ var (
 // WriteFrame writes one framed message: header (magic, version, type,
 // length, payload hash) followed by the payload.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
-	hdr := make([]byte, headerSize, headerSize+len(payload))
-	copy(hdr, wireMagic)
-	hdr[4] = WireVersion
-	hdr[5] = byte(t)
-	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
-	sum := sha256.Sum256(payload)
-	copy(hdr[10:], sum[:])
-	// One Write call for header+payload: a frame is either fully queued to
-	// the transport or fails as a unit, which keeps the failure model
-	// simple (a short write is a broken connection, not a desynced stream).
-	_, err := w.Write(append(hdr, payload...))
-	return err
+	return proto.WriteFrame(w, uint8(t), payload)
 }
 
 // ReadFrame reads and verifies one framed message. maxFrame bounds the
@@ -123,33 +107,6 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 // frame boundary, so callers can distinguish orderly close from mid-frame
 // loss.
 func ReadFrame(r io.Reader, maxFrame uint32) (FrameType, []byte, error) {
-	if maxFrame == 0 {
-		maxFrame = DefaultMaxFrame
-	}
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return 0, nil, io.EOF
-		}
-		return 0, nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
-	}
-	if string(hdr[:4]) != wireMagic {
-		return 0, nil, ErrBadMagic
-	}
-	if hdr[4] != WireVersion {
-		return 0, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, hdr[4], WireVersion)
-	}
-	t := FrameType(hdr[5])
-	n := binary.BigEndian.Uint32(hdr[6:10])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("%w: %d bytes > limit %d", ErrFrameTooBig, n, maxFrame)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
-	}
-	if sum := sha256.Sum256(payload); sum != [sha256.Size]byte(hdr[10:42]) {
-		return 0, nil, ErrPayloadHash
-	}
-	return t, payload, nil
+	t, payload, err := proto.ReadFrame(r, maxFrame)
+	return FrameType(t), payload, err
 }

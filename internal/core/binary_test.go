@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/wafer"
+)
+
+// trainSmallWafer fits a small HDC wafer classifier for codec tests.
+func trainSmallWafer(t testing.TB) (*HDCWaferClassifier, *wafer.Dataset) {
+	t.Helper()
+	cfg := wafer.DefaultConfig()
+	cfg.Size = 16
+	train := wafer.GenerateDataset(6, cfg, 3)
+	cls := NewHDCWaferClassifier(512, cfg.Size, 5, 3)
+	if err := cls.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := wafer.GenerateDataset(4, cfg, 4)
+	return cls, test
+}
+
+// TestWaferClassifierBinaryRoundTrip pins the v2 contract for the composed
+// model: canonical bytes round-trip bit-identically and the reloaded model
+// predicts exactly like the original.
+func TestWaferClassifierBinaryRoundTrip(t *testing.T) {
+	cls, test := trainSmallWafer(t)
+	data, err := cls.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &HDCWaferClassifier{}
+	if err := loaded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	again, err := loaded.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encode differs (%d vs %d bytes)", len(data), len(again))
+	}
+	if loaded.Dim != cls.Dim || loaded.Epochs != cls.Epochs || loaded.GridSize() != cls.GridSize() {
+		t.Fatalf("reloaded header dim=%d epochs=%d grid=%d", loaded.Dim, loaded.Epochs, loaded.GridSize())
+	}
+	for i, m := range test.Maps {
+		if a, b := cls.Predict(m), loaded.Predict(m); a != b {
+			t.Fatalf("map %d: reloaded Predict = %d, want %d", i, b, a)
+		}
+	}
+}
+
+// TestWaferClassifierBinaryMatchesJSON: the v1 JSON form and the v2 binary
+// form describe the same trained state.
+func TestWaferClassifierBinaryMatchesJSON(t *testing.T) {
+	cls, test := trainSmallWafer(t)
+	jsonData, err := json.Marshal(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binData, err := cls.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, fromBin := &HDCWaferClassifier{}, &HDCWaferClassifier{}
+	if err := json.Unmarshal(jsonData, fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromBin.UnmarshalBinary(binData); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range test.Maps {
+		if a, b := fromJSON.Predict(m), fromBin.Predict(m); a != b {
+			t.Fatalf("map %d: json Predict %d vs binary %d", i, a, b)
+		}
+	}
+}
+
+func TestWaferClassifierBinaryValidation(t *testing.T) {
+	if _, err := (&HDCWaferClassifier{}).MarshalBinary(); err == nil {
+		t.Error("unbuilt classifier serialized")
+	}
+	cls, _ := trainSmallWafer(t)
+	data, err := cls.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 13 {
+		if err := new(HDCWaferClassifier).UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := new(HDCWaferClassifier).UnmarshalBinary(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package outlier
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fittedScorers returns one fitted instance of every serializable scorer.
+func fittedScorers(t *testing.T) []Scorer {
+	t.Helper()
+	lot := Synthesize(DefaultLotConfig(), 7)
+	ref := healthyRef(lot)
+	out := []Scorer{&ZScorePAT{}, &Mahalanobis{}, &KNNOutlier{K: 5}}
+	for _, s := range out {
+		if err := s.Fit(ref); err != nil {
+			t.Fatalf("fit %T: %v", s, err)
+		}
+	}
+	return out
+}
+
+// TestScorerBinaryRoundTrip pins the itr-model/v2 contract for every
+// serializable scorer: canonical bytes round-trip bit-identically and the
+// reloaded scorer produces the same float64 score bits on every device.
+func TestScorerBinaryRoundTrip(t *testing.T) {
+	lot := Synthesize(DefaultLotConfig(), 8)
+	for _, s := range fittedScorers(t) {
+		data, err := AppendScorerBinary(nil, s)
+		if err != nil {
+			t.Fatalf("%T: %v", s, err)
+		}
+		loaded, err := UnmarshalScorerBinary(data)
+		if err != nil {
+			t.Fatalf("%T: %v", s, err)
+		}
+		again, err := AppendScorerBinary(nil, loaded)
+		if err != nil {
+			t.Fatalf("%T re-encode: %v", s, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%T: re-encode differs (%d vs %d bytes)", s, len(data), len(again))
+		}
+		for i, x := range lot.X {
+			a, b := s.Score(x), loaded.Score(x)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%T: device %d score %v vs %v (bit mismatch)", s, i, a, b)
+			}
+		}
+	}
+}
+
+// TestScorerBinaryMatchesJSON: both codecs describe the same fitted state.
+func TestScorerBinaryMatchesJSON(t *testing.T) {
+	lot := Synthesize(DefaultLotConfig(), 9)
+	for _, s := range fittedScorers(t) {
+		jsonData, err := SaveScorer(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binData, err := AppendScorerBinary(nil, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := LoadScorer(jsonData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := UnmarshalScorerBinary(binData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range lot.X {
+			a, b := fromJSON.Score(x), fromBin.Score(x)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%T: device %d json score %v vs binary %v", s, i, a, b)
+			}
+		}
+	}
+}
+
+func TestScorerBinaryValidation(t *testing.T) {
+	if _, err := UnmarshalScorerBinary(nil); err == nil {
+		t.Error("empty envelope accepted")
+	}
+	if _, err := UnmarshalScorerBinary([]byte{99}); err == nil {
+		t.Error("unknown method code accepted")
+	}
+	for _, s := range fittedScorers(t) {
+		data, err := AppendScorerBinary(nil, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(data); cut += 5 {
+			if _, err := UnmarshalScorerBinary(data[:cut]); err == nil {
+				t.Fatalf("%T: truncation at %d accepted", s, cut)
+			}
+		}
+		if _, err := UnmarshalScorerBinary(append(append([]byte(nil), data...), 0)); err == nil {
+			t.Errorf("%T: trailing byte accepted", s)
+		}
+	}
+	// A refit-only scorer has no serialized form, mirroring SaveScorer.
+	if _, err := AppendScorerBinary(nil, &PCAResidual{}); err == nil {
+		t.Error("PCAResidual serialized")
+	}
+	// A zero MAD must be refused on load (division guard), as in JSON.
+	z := &ZScorePAT{med: []float64{0}, mad: []float64{0}}
+	data := wire.AppendF64s(nil, z.med)
+	data = wire.AppendF64s(data, z.mad)
+	if err := new(ZScorePAT).UnmarshalBinary(data); err == nil {
+		t.Error("zero MAD accepted")
+	}
+}

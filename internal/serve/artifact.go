@@ -30,15 +30,25 @@ const (
 	KindOutlierScreen = "outlier-screen"
 )
 
-// Artifact is the itr-model/v1 envelope: self-describing metadata around a
-// kind-specific JSON payload.
+// Artifact is the model envelope: self-describing metadata around a
+// kind-specific payload. An itr-model/v1 artifact carries a JSON Payload;
+// an itr-model/v2 artifact carries the canonical Binary payload (see
+// artifactv2.go). Hash is the content identity — hex blake2b-256 over the
+// canonical body — identical for both schemas of the same model.
 type Artifact struct {
 	Schema      string          `json:"schema"`
 	Kind        string          `json:"kind"`
 	Name        string          `json:"name"`
 	Version     int             `json:"version"`
 	CreatedUnix int64           `json:"created_unix,omitempty"`
-	Payload     json.RawMessage `json:"payload"`
+	Payload     json.RawMessage `json:"payload,omitempty"`
+	// Hash is the hex content hash, stamped by ContentHash / ReadArtifact /
+	// WriteFile. In a v1 JSON file it is advisory (verified when present);
+	// in the v2 binary format it is structural — decoding refuses any body
+	// that does not hash to it.
+	Hash string `json:"hash,omitempty"`
+	// Binary is the canonical v2 payload section; never serialized as JSON.
+	Binary []byte `json:"-"`
 }
 
 // NewArtifact wraps a payload value into a validated envelope.
@@ -55,10 +65,12 @@ func NewArtifact(kind, name string, version int, payload any) (*Artifact, error)
 }
 
 // Validate checks the envelope invariants (schema, known kind, positive
-// version, non-empty payload).
+// version, non-empty payload in the schema's own representation).
 func (a *Artifact) Validate() error {
-	if a.Schema != Schema {
-		return fmt.Errorf("serve: artifact schema %q, want %q", a.Schema, Schema)
+	switch a.Schema {
+	case Schema, SchemaV2:
+	default:
+		return fmt.Errorf("serve: artifact schema %q, want %q or %q", a.Schema, Schema, SchemaV2)
 	}
 	switch a.Kind {
 	case KindWaferHDC, KindOutlierScreen:
@@ -68,17 +80,34 @@ func (a *Artifact) Validate() error {
 	if a.Version < 1 {
 		return fmt.Errorf("serve: artifact version %d, want >= 1", a.Version)
 	}
+	if a.Schema == SchemaV2 {
+		if len(a.Binary) == 0 {
+			return fmt.Errorf("serve: artifact %s/%s has empty binary payload", a.Kind, a.Name)
+		}
+		return nil
+	}
 	if len(a.Payload) == 0 {
 		return fmt.Errorf("serve: artifact %s/%s has empty payload", a.Kind, a.Name)
 	}
 	return nil
 }
 
-// ReadArtifact loads and validates an artifact file.
+// ReadArtifact loads, validates and content-hashes an artifact file,
+// sniffing the format: "ITRM" magic means the v2 binary encoding (hash
+// verified structurally), anything else is parsed as v1 JSON. A v1 file
+// that carries a stamped hash is checked against the recomputed one, so a
+// payload edited after signing is refused rather than trusted.
 func ReadArtifact(path string) (*Artifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(data) >= len(artifactMagic) && string(data[:len(artifactMagic)]) == artifactMagic {
+		a, err := DecodeArtifactV2(data)
+		if err != nil {
+			return nil, fmt.Errorf("%w (file %s)", err, path)
+		}
+		return a, nil
 	}
 	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil {
@@ -87,16 +116,35 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("%w (file %s)", err, path)
 	}
+	stamped := a.Hash
+	if _, err := a.ContentHash(); err != nil {
+		return nil, fmt.Errorf("serve: hash artifact %s: %w", path, err)
+	}
+	if stamped != "" && stamped != a.Hash {
+		return nil, fmt.Errorf("%w: file %s stamped %.8s…, content is %.8s…",
+			ErrHashMismatch, path, stamped, a.Hash)
+	}
 	return &a, nil
 }
 
 // WriteFile atomically writes the artifact (temp file + rename), so a
 // concurrently re-scanning server never observes a half-written model.
+// A v2 artifact is written in the binary format; a v1 artifact is written
+// as JSON with its content hash stamped into the envelope.
 func (a *Artifact) WriteFile(path string) error {
 	if err := a.Validate(); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(a, "", " ")
+	var data []byte
+	var err error
+	if a.Schema == SchemaV2 {
+		data, err = a.EncodeV2()
+	} else {
+		if _, err = a.ContentHash(); err == nil {
+			data, err = json.MarshalIndent(a, "", " ")
+			data = append(data, '\n')
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -106,7 +154,7 @@ func (a *Artifact) WriteFile(path string) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/outlier"
+	"repro/internal/wire"
+)
+
+// itr-model/v2: the canonical binary artifact format. Identity is content:
+// the artifact's hash is blake2b-256 over its canonical body bytes (the
+// easyfl LibraryHash pattern), so two artifacts are the same artifact iff
+// their bytes are the same, replicas can diff and dedupe by hash alone,
+// and a flipped bit anywhere surfaces as a typed refusal instead of a
+// silently wrong model.
+//
+// File layout (everything after the 37-byte header is hashed):
+//
+//	offset  size  field
+//	0       4     magic "ITRM"
+//	4       1     format version (2)
+//	5       32    blake2b-256(body)
+//	37      n     body
+//
+// body (canonical: fixed field order, big-endian, length-prefixed):
+//
+//	str  kind
+//	str  name
+//	u32  version
+//	i64  created_unix
+//	bytes payload            (kind-specific canonical model encoding)
+//
+// Payloads:
+//
+//	wafer-hdc       core.HDCWaferClassifier.AppendBinary
+//	outlier-screen  str method, u32 tests, bytes scorer
+//	                (outlier.AppendScorerBinary), f64 reject, f64 retest
+//
+// CreatedUnix is inside the hashed body on purpose: an artifact is
+// immutable once published, and re-publishing "the same" model under the
+// same kind/name/version with any byte changed — even just the timestamp —
+// is a forked lineage the registry must refuse rather than paper over.
+const (
+	// SchemaV2 is the binary artifact envelope version.
+	SchemaV2 = "itr-model/v2"
+
+	artifactMagic   = "ITRM"
+	artifactVersion = 2
+	// artifactHeaderSize is the unhashed prefix: magic, version, hash.
+	artifactHeaderSize = 4 + 1 + 32
+	// maxArtifactBytes bounds a decoded artifact file (a corrupt length
+	// field must not drive a runaway allocation).
+	maxArtifactBytes = 1 << 30
+)
+
+// Typed artifact errors, pinned by the failure-path tests.
+var (
+	// ErrBadArtifact marks a structurally malformed v2 artifact (bad
+	// magic, unknown format version, truncated or trailing bytes).
+	ErrBadArtifact = errors.New("serve: malformed itr-model/v2 artifact")
+	// ErrHashMismatch marks an artifact whose bytes do not match its
+	// content hash — bit rot, torn write, or in-flight corruption. Loaders
+	// and replicas refuse such artifacts outright.
+	ErrHashMismatch = errors.New("serve: artifact content hash mismatch")
+	// ErrForkedLineage marks two different artifact contents claiming the
+	// same kind/name/version. The registry refuses the second: versions
+	// are immutable, and converging replicas must never disagree about
+	// what a version means.
+	ErrForkedLineage = errors.New("serve: forked artifact lineage")
+)
+
+// canonicalPayload returns the canonical binary payload section,
+// converting from the v1 JSON payload when necessary.
+func (a *Artifact) canonicalPayload() ([]byte, error) {
+	if len(a.Binary) > 0 {
+		return a.Binary, nil
+	}
+	switch a.Kind {
+	case KindWaferHDC:
+		cls := &core.HDCWaferClassifier{}
+		if err := json.Unmarshal(a.Payload, cls); err != nil {
+			return nil, fmt.Errorf("serve: convert %s payload: %w", a.Kind, err)
+		}
+		return cls.AppendBinary(nil)
+	case KindOutlierScreen:
+		var p OutlierPayload
+		if err := json.Unmarshal(a.Payload, &p); err != nil {
+			return nil, fmt.Errorf("serve: convert %s payload: %w", a.Kind, err)
+		}
+		s, err := outlier.LoadScorer(p.Scorer)
+		if err != nil {
+			return nil, fmt.Errorf("serve: convert %s payload: %w", a.Kind, err)
+		}
+		return appendOutlierPayload(nil, p.Method, p.Tests, s, p.RejectThreshold, p.RetestThreshold)
+	}
+	return nil, fmt.Errorf("serve: unknown artifact kind %q", a.Kind)
+}
+
+// appendOutlierPayload appends the canonical outlier-screen payload.
+func appendOutlierPayload(b []byte, method string, tests int, s outlier.Scorer, reject, retest float64) ([]byte, error) {
+	b = wire.AppendString(b, method)
+	b = wire.AppendU32(b, uint32(tests))
+	sb, err := outlier.AppendScorerBinary(nil, s)
+	if err != nil {
+		return nil, err
+	}
+	b = wire.AppendBytes(b, sb)
+	b = wire.AppendF64(b, reject)
+	b = wire.AppendF64(b, retest)
+	return b, nil
+}
+
+// decodeOutlierPayload parses a canonical outlier-screen payload into an
+// installable model (metadata filled in by the caller).
+func decodeOutlierPayload(data []byte) (*OutlierModel, error) {
+	d := wire.NewDec(data)
+	method := d.String()
+	tests := int(d.U32())
+	scorerBytes := d.Bytes()
+	reject := d.F64()
+	retest := d.F64()
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("serve: decode %s payload: %w", KindOutlierScreen, err)
+	}
+	s, err := outlier.UnmarshalScorerBinary(scorerBytes)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decode %s payload: %w", KindOutlierScreen, err)
+	}
+	return &OutlierModel{
+		Method: method, Tests: tests, Scorer: s,
+		RejectThreshold: reject, RetestThreshold: retest,
+	}, nil
+}
+
+// canonicalBody returns the hashed body bytes of the artifact.
+func (a *Artifact) canonicalBody() ([]byte, error) {
+	payload, err := a.canonicalPayload()
+	if err != nil {
+		return nil, err
+	}
+	b := wire.AppendString(nil, a.Kind)
+	b = wire.AppendString(b, a.Name)
+	b = wire.AppendU32(b, uint32(a.Version))
+	b = wire.AppendI64(b, a.CreatedUnix)
+	return wire.AppendBytes(b, payload), nil
+}
+
+// ContentHash computes (and stamps) the artifact's identity: the hex
+// blake2b-256 of its canonical body. A v1 JSON artifact hashes to exactly
+// what its v2 conversion hashes to, so an artifact keeps its identity
+// across the migration.
+func (a *Artifact) ContentHash() (string, error) {
+	body, err := a.canonicalBody()
+	if err != nil {
+		return "", err
+	}
+	sum := wire.Blake2b256(body)
+	a.Hash = hex.EncodeToString(sum[:])
+	return a.Hash, nil
+}
+
+// ToV2 returns the canonical binary form of the artifact (identity
+// conversion for v2 inputs), with the content hash stamped.
+func (a *Artifact) ToV2() (*Artifact, error) {
+	payload, err := a.canonicalPayload()
+	if err != nil {
+		return nil, err
+	}
+	v2 := &Artifact{
+		Schema:      SchemaV2,
+		Kind:        a.Kind,
+		Name:        a.Name,
+		Version:     a.Version,
+		CreatedUnix: a.CreatedUnix,
+		Binary:      payload,
+	}
+	if err := v2.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := v2.ContentHash(); err != nil {
+		return nil, err
+	}
+	return v2, nil
+}
+
+// EncodeV2 serializes the artifact into the binary v2 file format
+// (converting a v1 artifact first). Encoding is deterministic:
+// encode → decode → re-encode yields identical bytes and identical hash.
+func (a *Artifact) EncodeV2() ([]byte, error) {
+	body, err := a.canonicalBody()
+	if err != nil {
+		return nil, err
+	}
+	sum := wire.Blake2b256(body)
+	a.Hash = hex.EncodeToString(sum[:])
+	out := make([]byte, 0, artifactHeaderSize+len(body))
+	out = append(out, artifactMagic...)
+	out = append(out, artifactVersion)
+	out = append(out, sum[:]...)
+	return append(out, body...), nil
+}
+
+// DecodeArtifactV2 parses and verifies a binary v2 artifact. Every
+// corruption maps to a typed error: structural damage (magic, version,
+// framing, trailing bytes) is ErrBadArtifact; any flipped byte in the
+// hashed body is ErrHashMismatch; an unknown kind or invalid envelope
+// fails Validate. The payload itself stays opaque here — model decoding
+// (and its own validation) happens at install time.
+func DecodeArtifactV2(data []byte) (*Artifact, error) {
+	if len(data) < artifactHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", ErrBadArtifact, len(data), artifactHeaderSize)
+	}
+	if len(data) > maxArtifactBytes {
+		return nil, fmt.Errorf("%w: %d bytes exceeds limit %d", ErrBadArtifact, len(data), maxArtifactBytes)
+	}
+	if string(data[:4]) != artifactMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadArtifact)
+	}
+	if data[4] != artifactVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrBadArtifact, data[4], artifactVersion)
+	}
+	var want [32]byte
+	copy(want[:], data[5:artifactHeaderSize])
+	body := data[artifactHeaderSize:]
+	if sum := wire.Blake2b256(body); sum != want {
+		return nil, fmt.Errorf("%w: body hashes to %x, header claims %x",
+			ErrHashMismatch, sum[:8], want[:8])
+	}
+	d := wire.NewDec(body)
+	a := &Artifact{Schema: SchemaV2}
+	a.Kind = d.String()
+	a.Name = d.String()
+	a.Version = int(d.U32())
+	a.CreatedUnix = d.I64()
+	a.Binary = append([]byte(nil), d.Bytes()...)
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	a.Hash = hex.EncodeToString(want[:])
+	return a, nil
+}

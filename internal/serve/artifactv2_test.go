@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/outlier"
+	"repro/internal/wafer"
+)
+
+// TestArtifactV2RoundTripIdentity pins the tentpole contract for every
+// model kind: encode → hash → decode → re-encode yields identical bytes
+// and an identical content hash, and the v1 JSON form of the same model
+// hashes to the same identity as its v2 conversion.
+func TestArtifactV2RoundTripIdentity(t *testing.T) {
+	w1, _, o1 := testArtifacts(t)
+	for _, a := range []*Artifact{w1, o1} {
+		v1Hash, err := a.ContentHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := a.ToV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v2.Hash != v1Hash {
+			t.Errorf("%s: v1 hashes to %.12s, v2 to %.12s — identity lost in conversion",
+				a.Kind, v1Hash, v2.Hash)
+		}
+		if len(v2.Hash) != 64 {
+			t.Errorf("%s: hash %q is not hex blake2b-256", a.Kind, v2.Hash)
+		}
+		data, err := v2.EncodeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeArtifactV2(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Kind != a.Kind || dec.Name != a.Name || dec.Version != a.Version ||
+			dec.CreatedUnix != a.CreatedUnix || dec.Hash != v1Hash {
+			t.Errorf("%s: decoded envelope %+v does not match original", a.Kind, dec)
+		}
+		again, err := dec.EncodeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: re-encode differs (%d vs %d bytes)", a.Kind, len(data), len(again))
+		}
+		if dec.Hash != v2.Hash {
+			t.Errorf("%s: re-encode changed hash %.12s -> %.12s", a.Kind, v2.Hash, dec.Hash)
+		}
+	}
+}
+
+// TestArtifactV2FlippedByte: corrupting any single byte of a v2 artifact
+// is refused with a typed error — ErrBadArtifact in the unhashed header,
+// ErrHashMismatch everywhere in the hashed body and in the hash itself.
+// The outlier artifact is small enough to sweep every byte; the wafer
+// artifact is swept with a stride.
+func TestArtifactV2FlippedByte(t *testing.T) {
+	w1, _, o1 := testArtifacts(t)
+	for _, tc := range []struct {
+		a      *Artifact
+		stride int
+	}{{o1, 1}, {w1, 101}} {
+		data, err := tc.a.EncodeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(data); i += tc.stride {
+			bad := append([]byte(nil), data...)
+			bad[i] ^= 0x40
+			_, err := DecodeArtifactV2(bad)
+			if err == nil {
+				t.Fatalf("%s: flipped byte %d of %d accepted", tc.a.Kind, i, len(data))
+			}
+			switch {
+			case i < 5: // magic + format version
+				if !errors.Is(err, ErrBadArtifact) {
+					t.Fatalf("%s: header byte %d: err = %v, want ErrBadArtifact", tc.a.Kind, i, err)
+				}
+			default: // stored hash or hashed body
+				if !errors.Is(err, ErrHashMismatch) {
+					t.Fatalf("%s: byte %d: err = %v, want ErrHashMismatch", tc.a.Kind, i, err)
+				}
+			}
+		}
+		// Truncations and trailing bytes are refused too.
+		for _, n := range []int{0, 4, 36, len(data) / 2, len(data) - 1} {
+			if _, err := DecodeArtifactV2(data[:n]); err == nil {
+				t.Fatalf("%s: truncation to %d bytes accepted", tc.a.Kind, n)
+			}
+		}
+		if _, err := DecodeArtifactV2(append(append([]byte(nil), data...), 0)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", tc.a.Kind)
+		}
+	}
+}
+
+// TestArtifactFileSniffing: WriteFile/ReadArtifact round-trip both schemas
+// through the same entry points, and a v1 file whose payload was edited
+// after its hash was stamped is refused.
+func TestArtifactFileSniffing(t *testing.T) {
+	_, _, o1 := testArtifacts(t)
+	dir := t.TempDir()
+
+	v2, err := o1.ToV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "screen.itm")
+	if err := v2.WriteFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaV2 || got.Hash != v2.Hash {
+		t.Errorf("read v2 file: schema %q hash %.12s, want %q %.12s",
+			got.Schema, got.Hash, SchemaV2, v2.Hash)
+	}
+
+	jsonPath := filepath.Join(dir, "screen.json")
+	if err := o1.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadArtifact(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Hash != v2.Hash {
+		t.Errorf("read v1 file: schema %q hash %.12s, want %q with the same identity %.12s",
+			got.Schema, got.Hash, Schema, v2.Hash)
+	}
+
+	// Tamper with the JSON after the hash was stamped: bump the version
+	// field. The recomputed content hash no longer matches the stamp.
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"version": 1`), []byte(`"version": 7`), 1)
+	if bytes.Equal(raw, tampered) {
+		t.Fatal("tamper target not found in JSON")
+	}
+	if err := os.WriteFile(jsonPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(jsonPath); !errors.Is(err, ErrHashMismatch) {
+		t.Errorf("tampered v1 file: err = %v, want ErrHashMismatch", err)
+	}
+}
+
+// TestRegistryForkedLineage: once a kind/name/version is bound to a
+// content hash, an artifact with the same coordinates but different bytes
+// is refused — re-installing the identical artifact stays allowed.
+func TestRegistryForkedLineage(t *testing.T) {
+	_, _, o1 := testArtifacts(t)
+	reg := NewRegistry()
+	if _, err := reg.Install(o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install(o1); err != nil {
+		t.Errorf("re-install of the identical artifact refused: %v", err)
+	}
+
+	// Same kind/name/version, nudged threshold: different content.
+	var p OutlierPayload
+	if err := json.Unmarshal(o1.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	p.RejectThreshold += 0.5
+	fork, err := NewArtifact(o1.Kind, o1.Name, o1.Version, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install(fork); !errors.Is(err, ErrForkedLineage) {
+		t.Errorf("forked artifact: err = %v, want ErrForkedLineage", err)
+	}
+	if got := reg.Outlier().Meta.Hash; got != o1.Hash {
+		t.Errorf("fork refusal changed the live model to %.12s", got)
+	}
+
+	// The store holds exactly the installed content, addressable by hash.
+	man := reg.Manifest()
+	if len(man) != 1 || man[0].Hash != o1.Hash {
+		t.Errorf("manifest %+v, want exactly the installed artifact", man)
+	}
+	if a := reg.ArtifactByHash(o1.Hash); a == nil || a.Kind != o1.Kind {
+		t.Error("installed artifact not addressable by content hash")
+	}
+	if a := reg.ArtifactByHash("deadbeef"); a != nil {
+		t.Error("unknown hash resolved to an artifact")
+	}
+}
+
+// TestRegistryLoadDirDedupe: byte-identical artifacts under different
+// names — and the same model in both schemas — count once.
+func TestRegistryLoadDirDedupe(t *testing.T) {
+	w1, _, o1 := testArtifacts(t)
+	dir := t.TempDir()
+	for _, name := range []string{"a.json", "b.json"} {
+		if err := w1.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2, err := w1.ToV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.WriteFile(filepath.Join(dir, "c.itm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o1.WriteFile(filepath.Join(dir, "screen.json")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	sum, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Installed != 2 || sum.Duplicates != 2 {
+		t.Errorf("summary %+v, want 2 installed, 2 duplicates", sum)
+	}
+	if len(sum.Artifacts) != 4 {
+		t.Errorf("artifact log %v, want one entry per readable file", sum.Artifacts)
+	}
+	for _, line := range sum.Artifacts {
+		if !strings.Contains(line, w1.Hash[:12]) && !strings.Contains(line, o1.Hash[:12]) {
+			t.Errorf("artifact log entry %q reports no known content hash", line)
+		}
+	}
+	if !reg.Ready() {
+		t.Error("registry not ready after deduped load")
+	}
+}
+
+// TestArtifactCrossVersionPredict is the migration property test: a model
+// trained once, served from its v1 JSON file and from its migrated v2
+// binary file, produces bit-identical predictions and float64 score bits.
+func TestArtifactCrossVersionPredict(t *testing.T) {
+	w1, _, o1 := testArtifacts(t)
+	dir := t.TempDir()
+	for name, a := range map[string]*Artifact{"wafer.json": w1, "screen.json": o1} {
+		if err := a.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regV1 := NewRegistry()
+	if sum, err := regV1.LoadDir(dir); err != nil || sum.Installed != 2 {
+		t.Fatalf("v1 load: %+v, %v", sum, err)
+	}
+	mig, err := MigrateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mig.Migrated) != 2 || len(mig.Skipped) != 0 {
+		t.Fatalf("migration %+v, want 2 converted", mig)
+	}
+	regV2 := NewRegistry()
+	if sum, err := regV2.LoadDir(dir); err != nil || sum.Installed != 2 {
+		t.Fatalf("v2 load: %+v, %v", sum, err)
+	}
+
+	if a, b := regV1.Wafer().Meta.Hash, regV2.Wafer().Meta.Hash; a != b {
+		t.Errorf("wafer model identity changed across migration: %.12s vs %.12s", a, b)
+	}
+	wcfg := wafer.DefaultConfig()
+	wcfg.Size = testCfg.GridSize
+	for i, m := range wafer.GenerateDataset(5, wcfg, 99).Maps {
+		if a, b := regV1.Wafer().Cls.Predict(m), regV2.Wafer().Cls.Predict(m); a != b {
+			t.Fatalf("map %d: v1 model predicts %d, migrated model %d", i, a, b)
+		}
+	}
+	lot := outlier.Synthesize(outlier.DefaultLotConfig(), 99)
+	s1, s2 := regV1.Outlier().Scorer, regV2.Outlier().Scorer
+	for i, x := range lot.X {
+		a, b := s1.Score(x), s2.Score(x)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("device %d: v1 score %v, migrated score %v (bit mismatch)", i, a, b)
+		}
+	}
+}
+
+// TestMigrateDir pins the one-shot conversion mechanics: .json becomes
+// .itm plus a .v1.bak, sizes and hashes are reported, corrupt files are
+// skipped in place, and a re-run finds nothing left to do.
+func TestMigrateDir(t *testing.T) {
+	w1, _, o1 := testArtifacts(t)
+	dir := t.TempDir()
+	for name, a := range map[string]*Artifact{"wafer.json": w1, "screen.json": o1} {
+		if err := a.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn.json"), []byte(`{"schema":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := MigrateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Migrated) != 2 || len(sum.Skipped) != 1 {
+		t.Fatalf("summary %+v, want 2 migrated, 1 skipped", sum)
+	}
+	for _, m := range sum.Migrated {
+		if m.OldBytes <= 0 || m.NewBytes <= 0 || len(m.Hash) != 64 {
+			t.Errorf("migration result %+v lacks sizes or hash", m)
+		}
+		if m.NewBytes >= m.OldBytes {
+			t.Logf("note: %s binary (%d B) not smaller than JSON (%d B)", m.File, m.NewBytes, m.OldBytes)
+		}
+		if _, err := os.Stat(filepath.Join(dir, m.NewFile)); err != nil {
+			t.Errorf("migrated file missing: %v", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, m.File+".v1.bak")); err != nil {
+			t.Errorf("backup missing: %v", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, m.File)); !os.IsNotExist(err) {
+			t.Errorf("original %s still present after migration", m.File)
+		}
+	}
+	// The corrupt file is left untouched for the operator to inspect.
+	if _, err := os.Stat(filepath.Join(dir, "torn.json")); err != nil {
+		t.Errorf("corrupt file was moved: %v", err)
+	}
+	// Idempotent re-run: only the corrupt file remains, still skipped.
+	again, err := MigrateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Migrated) != 0 || len(again.Skipped) != 1 {
+		t.Errorf("re-run %+v, want nothing migrated", again)
+	}
+}
+
+// FuzzArtifactV2 hammers the binary decoder: arbitrary bytes must never
+// panic, and anything that decodes must re-encode to the exact input.
+func FuzzArtifactV2(f *testing.F) {
+	// Tiny models: every fuzz worker process re-runs this setup.
+	cfg := DemoConfig{Dim: 64, GridSize: 8, TrainN: 1, Devices: 60, Seed: 3, OverkillBudget: 0.05}
+	wa, err := TrainWaferArtifact(cfg, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	oa, err := TrainOutlierArtifact(cfg, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, a := range []*Artifact{wa, oa} {
+		data, err := a.EncodeV2()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte(artifactMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifactV2(data)
+		if err != nil {
+			return
+		}
+		again, err := a.EncodeV2()
+		if err != nil {
+			t.Fatalf("decoded artifact failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("re-encode differs from accepted input (%d vs %d bytes)", len(data), len(again))
+		}
+	})
+}
+
+// BenchmarkArtifactEncodeDecode compares the v1 JSON and v2 binary codecs
+// on a 10k-dimensional HDC wafer classifier, reporting encoded sizes.
+func BenchmarkArtifactEncodeDecode(b *testing.B) {
+	wcfg := wafer.DefaultConfig()
+	wcfg.Size = 32
+	train := wafer.GenerateDataset(4, wcfg, 1)
+	cls := core.NewHDCWaferClassifier(10240, wcfg.Size, 3, 1)
+	if err := cls.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewArtifact(KindWaferHDC, "bench-wafer-hdc", 1, cls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonData, err := json.Marshal(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	av2, err := a.ToV2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	binData, err := av2.EncodeV2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("v1-json", func(b *testing.B) {
+		b.ReportMetric(float64(len(jsonData)), "bytes")
+		b.Run("encode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := json.Marshal(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var dec Artifact
+				if err := json.Unmarshal(jsonData, &dec); err != nil {
+					b.Fatal(err)
+				}
+				cls := &core.HDCWaferClassifier{}
+				if err := json.Unmarshal(dec.Payload, cls); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("v2-binary", func(b *testing.B) {
+		b.ReportMetric(float64(len(binData)), "bytes")
+		b.Run("encode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := av2.EncodeV2(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dec, err := DecodeArtifactV2(binData)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cls := &core.HDCWaferClassifier{}
+				if err := cls.UnmarshalBinary(dec.Binary); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}

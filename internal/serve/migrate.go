@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MigrateResult describes one v1 JSON artifact converted to the binary v2
+// format.
+type MigrateResult struct {
+	// File is the original artifact file name (relative to the directory).
+	File string
+	// NewFile is the written v2 file name (same stem, ".itm" extension).
+	NewFile string
+	// OldBytes and NewBytes are the on-disk sizes before and after.
+	OldBytes, NewBytes int
+	// Hash is the content hash — identical for both forms, since identity
+	// is computed over the canonical body either way.
+	Hash string
+}
+
+// MigrateSummary reports the outcome of one MigrateDir run.
+type MigrateSummary struct {
+	Migrated []MigrateResult
+	// Skipped lists "file: reason" for artifacts that could not be
+	// converted. Like LoadDir, one bad file does not abort the rest.
+	Skipped []string
+}
+
+// MigrateDir converts every v1 JSON artifact under dir to the itr-model/v2
+// binary format: "x.json" becomes "x.itm", and the original is kept as
+// "x.json.v1.bak" so the migration is reversible by hand. Files already in
+// the v2 format (and prior ".v1.bak" leftovers) are left untouched. Each
+// conversion is atomic (temp + rename for the .itm, then the rename of the
+// original), and the content hash of every migrated artifact is reported —
+// it is the same identity the v1 file had, so a registry that had loaded
+// the JSON sees the migrated file as the same artifact, not a fork.
+func MigrateDir(dir string) (MigrateSummary, error) {
+	var sum MigrateSummary
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return sum, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := filepath.Join(dir, name)
+		a, err := ReadArtifact(src)
+		if err != nil {
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		v2, err := a.ToV2()
+		if err != nil {
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		newName := strings.TrimSuffix(name, ".json") + ".itm"
+		dst := filepath.Join(dir, newName)
+		if err := v2.WriteFile(dst); err != nil {
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		if err := os.Rename(src, src+".v1.bak"); err != nil {
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		oldInfo, _ := os.Stat(src + ".v1.bak")
+		newInfo, _ := os.Stat(dst)
+		res := MigrateResult{File: name, NewFile: newName, Hash: v2.Hash}
+		if oldInfo != nil {
+			res.OldBytes = int(oldInfo.Size())
+		}
+		if newInfo != nil {
+			res.NewBytes = int(newInfo.Size())
+		}
+		sum.Migrated = append(sum.Migrated, res)
+	}
+	return sum, nil
+}

@@ -1,23 +1,30 @@
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/outlier"
 )
 
-// ModelMeta identifies one installed model version.
+// ModelMeta identifies one installed model version. Hash is the content
+// identity of the artifact the model was installed from.
 type ModelMeta struct {
 	Kind    string `json:"kind"`
 	Name    string `json:"name"`
 	Version int    `json:"version"`
+	Hash    string `json:"hash,omitempty"`
+}
+
+// lineageKey names one published version line.
+func lineageKey(kind, name string, version int) string {
+	return fmt.Sprintf("%s/%s/v%d", kind, name, version)
 }
 
 // WaferModel is an installed wafer-map classifier.
@@ -40,13 +47,29 @@ type OutlierModel struct {
 // atomic.Pointers, so installs are lock-free hot swaps: requests in flight
 // keep the model they started with, new requests see the new version, and
 // no request ever observes a half-installed model.
+//
+// Alongside the live slots the registry keeps a content-addressed store of
+// every artifact it has installed, keyed by content hash, plus the lineage
+// map recording which hash each kind/name/version resolves to. The store
+// is what replication serves (see replicate.go); the lineage map is what
+// makes versions immutable — a second artifact claiming an already-bound
+// kind/name/version with different content is refused as a fork.
 type Registry struct {
 	wafer   atomic.Pointer[WaferModel]
 	outlier atomic.Pointer[OutlierModel]
+
+	mu      sync.Mutex
+	lineage map[string]string    // lineageKey -> content hash
+	store   map[string]*Artifact // content hash -> canonical v2 artifact
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+func NewRegistry() *Registry {
+	return &Registry{
+		lineage: map[string]string{},
+		store:   map[string]*Artifact{},
+	}
+}
 
 // Wafer returns the live wafer classifier, or nil if none is installed.
 func (r *Registry) Wafer() *WaferModel { return r.wafer.Load() }
@@ -70,88 +93,159 @@ func (r *Registry) Models() []ModelMeta {
 	return out
 }
 
-// Install decodes an artifact and atomically swaps it into its slot,
-// returning the metadata of the model it replaced (zero ModelMeta if the
-// slot was empty). Downgrades are rejected: an artifact with a version
-// lower than the live one leaves the registry untouched.
+// Install canonicalizes an artifact to its itr-model/v2 form, checks its
+// lineage, decodes the model from the canonical bytes and atomically swaps
+// it into its slot, returning the metadata of the model it replaced (zero
+// ModelMeta if the slot was empty). Both schemas install through the same
+// path — a v1 JSON artifact is converted first — so the served model is
+// always exactly the state the content hash covers. Downgrades are
+// rejected: an artifact with a version lower than the live one leaves the
+// registry untouched. An artifact whose kind/name/version was already
+// bound to different content is refused with ErrForkedLineage.
 func (r *Registry) Install(a *Artifact) (prev ModelMeta, err error) {
 	if err := a.Validate(); err != nil {
 		return ModelMeta{}, err
 	}
-	meta := ModelMeta{Kind: a.Kind, Name: a.Name, Version: a.Version}
-	switch a.Kind {
+	v2, err := a.ToV2()
+	if err != nil {
+		return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
+	}
+	key := lineageKey(v2.Kind, v2.Name, v2.Version)
+	r.mu.Lock()
+	if bound, ok := r.lineage[key]; ok && bound != v2.Hash {
+		r.mu.Unlock()
+		return ModelMeta{}, fmt.Errorf("%w: %s is %.8s…, refusing %.8s…",
+			ErrForkedLineage, key, bound, v2.Hash)
+	}
+	r.mu.Unlock()
+	meta := ModelMeta{Kind: v2.Kind, Name: v2.Name, Version: v2.Version, Hash: v2.Hash}
+	switch v2.Kind {
 	case KindWaferHDC:
 		cls := &core.HDCWaferClassifier{}
-		if err := json.Unmarshal(a.Payload, cls); err != nil {
-			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
+		if err := cls.UnmarshalBinary(v2.Binary); err != nil {
+			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", v2.Kind, err)
 		}
 		m := &WaferModel{Meta: meta, Cls: cls}
 		for {
 			old := r.wafer.Load()
 			if old != nil && old.Meta.Version > meta.Version {
 				return old.Meta, fmt.Errorf("serve: refusing downgrade of %s from v%d to v%d",
-					a.Kind, old.Meta.Version, meta.Version)
+					v2.Kind, old.Meta.Version, meta.Version)
 			}
 			if r.wafer.CompareAndSwap(old, m) {
 				if old != nil {
 					prev = old.Meta
 				}
+				r.record(key, v2)
 				return prev, nil
 			}
 		}
 	case KindOutlierScreen:
-		var p OutlierPayload
-		if err := json.Unmarshal(a.Payload, &p); err != nil {
-			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
-		}
-		s, err := outlier.LoadScorer(p.Scorer)
+		m, err := decodeOutlierPayload(v2.Binary)
 		if err != nil {
-			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", a.Kind, err)
+			return ModelMeta{}, fmt.Errorf("serve: install %s: %w", v2.Kind, err)
 		}
-		if p.Tests < 1 {
-			return ModelMeta{}, fmt.Errorf("serve: outlier artifact declares %d tests", p.Tests)
+		if m.Tests < 1 {
+			return ModelMeta{}, fmt.Errorf("serve: outlier artifact declares %d tests", m.Tests)
 		}
-		if p.RetestThreshold > p.RejectThreshold {
+		if m.RetestThreshold > m.RejectThreshold {
 			return ModelMeta{}, fmt.Errorf("serve: retest threshold %g above reject threshold %g",
-				p.RetestThreshold, p.RejectThreshold)
+				m.RetestThreshold, m.RejectThreshold)
 		}
-		m := &OutlierModel{
-			Meta: meta, Method: p.Method, Tests: p.Tests, Scorer: s,
-			RejectThreshold: p.RejectThreshold, RetestThreshold: p.RetestThreshold,
-		}
+		m.Meta = meta
 		for {
 			old := r.outlier.Load()
 			if old != nil && old.Meta.Version > meta.Version {
 				return old.Meta, fmt.Errorf("serve: refusing downgrade of %s from v%d to v%d",
-					a.Kind, old.Meta.Version, meta.Version)
+					v2.Kind, old.Meta.Version, meta.Version)
 			}
 			if r.outlier.CompareAndSwap(old, m) {
 				if old != nil {
 					prev = old.Meta
 				}
+				r.record(key, v2)
 				return prev, nil
 			}
 		}
 	}
-	return ModelMeta{}, fmt.Errorf("serve: unknown artifact kind %q", a.Kind)
+	return ModelMeta{}, fmt.Errorf("serve: unknown artifact kind %q", v2.Kind)
+}
+
+// record binds a lineage key to its hash and retains the canonical
+// artifact in the content store. Called only after a successful install,
+// so the store never holds artifacts the registry refused.
+func (r *Registry) record(key string, v2 *Artifact) {
+	r.mu.Lock()
+	r.lineage[key] = v2.Hash
+	r.store[v2.Hash] = v2
+	r.mu.Unlock()
+}
+
+// Manifest lists every artifact in the content store as kind/name/version/
+// hash tuples, sorted. This is what a replica diffs against its own
+// manifest to decide which hashes to pull.
+func (r *Registry) Manifest() []ModelMeta {
+	r.mu.Lock()
+	out := make([]ModelMeta, 0, len(r.store))
+	for h, a := range r.store {
+		out = append(out, ModelMeta{Kind: a.Kind, Name: a.Name, Version: a.Version, Hash: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Version != b.Version {
+			return a.Version < b.Version
+		}
+		return a.Hash < b.Hash
+	})
+	return out
+}
+
+// ArtifactByHash returns the stored canonical artifact for a content hash,
+// or nil if the registry has never installed it.
+func (r *Registry) ArtifactByHash(hash string) *Artifact {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store[hash]
 }
 
 // LoadSummary reports the outcome of one directory scan.
 type LoadSummary struct {
 	// Installed counts the models swapped in (the newest version per kind).
 	Installed int
+	// Duplicates counts files whose content hash matched an artifact
+	// already seen in this scan — byte-identical copies count once.
+	Duplicates int
+	// Artifacts lists "file: kind/name/vN hash" for every readable
+	// artifact, duplicates included, so the scan log shows exactly which
+	// content each file resolved to.
+	Artifacts []string
 	// Skipped lists "file: reason" for every artifact that could not be
 	// read, parsed or installed. Skips never abort the scan — one corrupt
 	// file must not take down the SIGHUP reload of every healthy model.
 	Skipped []string
 }
 
+// artifactExt reports whether a directory entry looks like a model
+// artifact: ".json" (itr-model/v1) or ".itm" (itr-model/v2 binary).
+func artifactExt(name string) bool {
+	return strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".itm")
+}
+
 // LoadDir installs the newest version of every kind found among the
-// "*.json" artifacts under dir. Older files may stay in the directory:
-// only the per-kind maximum is installed, so a SIGHUP rescan over an
-// unchanged directory is an idempotent no-op rather than a downgrade
-// error. Corrupt or unparseable files are skipped (and listed in the
-// summary), not fatal; only an unreadable directory is an error.
+// "*.json" (v1) and "*.itm" (v2) artifacts under dir. Files are deduped
+// by content hash first — byte-identical artifacts under different names
+// (or the same model in both schemas) count once. Older versions may stay
+// in the directory: only the per-kind maximum is installed, so a SIGHUP
+// rescan over an unchanged directory is an idempotent no-op rather than a
+// downgrade error. Corrupt or unparseable files are skipped (and listed
+// in the summary), not fatal; only an unreadable directory is an error.
 func (r *Registry) LoadDir(dir string) (LoadSummary, error) {
 	var sum LoadSummary
 	entries, err := os.ReadDir(dir)
@@ -159,8 +253,9 @@ func (r *Registry) LoadDir(dir string) (LoadSummary, error) {
 		return sum, err
 	}
 	newest := map[string]*Artifact{}
+	seen := map[string]bool{}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+		if e.IsDir() || !artifactExt(e.Name()) {
 			continue
 		}
 		a, err := ReadArtifact(filepath.Join(dir, e.Name()))
@@ -168,6 +263,13 @@ func (r *Registry) LoadDir(dir string) (LoadSummary, error) {
 			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", e.Name(), err))
 			continue
 		}
+		sum.Artifacts = append(sum.Artifacts,
+			fmt.Sprintf("%s: %s %.12s…", e.Name(), lineageKey(a.Kind, a.Name, a.Version), a.Hash))
+		if seen[a.Hash] {
+			sum.Duplicates++
+			continue
+		}
+		seen[a.Hash] = true
 		if best := newest[a.Kind]; best == nil || a.Version > best.Version {
 			newest[a.Kind] = a
 		}

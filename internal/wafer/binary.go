@@ -1,0 +1,42 @@
+package wafer
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Canonical binary form of an EncoderConfig (itr-model/v2 section):
+//
+//	u32 dim
+//	u32 size
+//	i64 seed
+//
+// Like the JSON form, this is the complete rebuild recipe — the encoder is
+// deterministic in (Dim, Size, Seed), so artifacts stay kilobytes instead
+// of carrying megabytes of basis vectors.
+
+// AppendBinary appends the canonical binary encoding to b.
+func (c EncoderConfig) AppendBinary(b []byte) ([]byte, error) {
+	if c.Dim < 0 || c.Size < 0 {
+		return nil, fmt.Errorf("wafer: cannot serialize encoder config %+v", c)
+	}
+	b = wire.AppendU32(b, uint32(c.Dim))
+	b = wire.AppendU32(b, uint32(c.Size))
+	b = wire.AppendI64(b, c.Seed)
+	return b, nil
+}
+
+// UnmarshalBinary restores a config saved by AppendBinary. Parameter
+// validation happens in NewEncoderFromConfig, which every loader calls to
+// rebuild the encoder.
+func (c *EncoderConfig) UnmarshalBinary(data []byte) error {
+	d := wire.NewDec(data)
+	c.Dim = int(d.U32())
+	c.Size = int(d.U32())
+	c.Seed = d.I64()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("wafer: decode encoder config: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// Vectors produced by an independent BLAKE2b implementation (Python
+// hashlib.blake2b, digest_size=32). The length grid deliberately straddles
+// every block boundary: empty input, sub-block, exactly one block (128),
+// one block plus one byte, two blocks, and multi-block tails — each of
+// which takes a different path through the counter/final-flag logic.
+func TestBlake2b256Vectors(t *testing.T) {
+	known := []struct {
+		n    int
+		want string
+	}{
+		{0, "0e5751c026e543b2e8ab2eb06099daa1d1e5df47778f7787faab45cdf12fe3a8"},
+		{1, "e88bd757ad5b9bedf372d8d3f0cf6c962a469db61a265f6418e1ffed86da29ec"},
+		{63, "a69e023685fa5f19fca13acc02142a9cf8450ce5b77966586e0d000c4a4ea942"},
+		{64, "586c0dd87616ec042093edc5f87f880d37ca73618e99b03d5850ce9be478721f"},
+		{127, "c9ae3859964b35f04c54b36d33cf299d7290ee621005d28e51598a943560aaaa"},
+		{128, "f0501d06597880592bc49234eef100ec1ff349058d0e9d9b753504e24af86dd6"},
+		{129, "a34a4e1e03c541dfbf3099c4b6c143c022ced65c28bd7e8a10e0a098461aecf0"},
+		{255, "f2d64a40e9412a3414161ff6250075225418fd7c271c1123e162e1bca0de9f93"},
+		{256, "d93ebb9c802f5630ab22516fd82b6c21bc8bd551d531349b715f046ed11ed871"},
+		{257, "4ce481b24d387422d2bc2baa03d1afd55a1327939ff537c71eb9b38709268649"},
+		{384, "cff59531b16bf549e1048f7df5efadf9c590cad5a0b52ab9eeb52e5b5eb86e55"},
+		{1024, "69690d5736283a6379bc55ddd89b01dfff8db87eff8208c9177baa695b639b50"},
+	}
+	for _, tc := range known {
+		data := make([]byte, tc.n)
+		for i := range data {
+			data[i] = byte((i*7 + 3) % 256)
+		}
+		sum := Blake2b256(data)
+		if got := hex.EncodeToString(sum[:]); got != tc.want {
+			t.Errorf("Blake2b256(%d bytes) = %s, want %s", tc.n, got, tc.want)
+		}
+	}
+
+	ascii := []struct{ in, want string }{
+		{"abc", "bddd813c634239723171ef3fee98579b94964e3bb1cb3e427262c8c068d52319"},
+		{"The quick brown fox jumps over the lazy dog",
+			"01718cec35cd3d796dd00020e0bfecb473ad23457d063b75eff29c0ffa2e58a9"},
+	}
+	for _, tc := range ascii {
+		sum := Blake2b256([]byte(tc.in))
+		if got := hex.EncodeToString(sum[:]); got != tc.want {
+			t.Errorf("Blake2b256(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestBlake2b256Sensitivity: flipping any single bit of a two-block input
+// must change the digest — the property the artifact hash check rests on.
+func TestBlake2b256Sensitivity(t *testing.T) {
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	base := Blake2b256(data)
+	for i := range data {
+		data[i] ^= 0x10
+		if Blake2b256(data) == base {
+			t.Fatalf("digest unchanged after flipping byte %d", i)
+		}
+		data[i] ^= 0x10
+	}
+	if Blake2b256(data) != base {
+		t.Fatal("digest not restored after undoing flips")
+	}
+}
+
+func BenchmarkBlake2b256(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 20} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		b.Run(fmt.Sprintf("%dB", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				Blake2b256(data)
+			}
+		})
+	}
+}
